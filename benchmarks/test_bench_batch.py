@@ -1,0 +1,27 @@
+"""Ablation benchmark: scalar vs vectorised batch P+C execution.
+
+Quantifies the per-pair Python dispatch overhead that the batch runner
+amortises (the paper's C++ implementation has no such overhead; this
+shows how much of our scalar numbers it accounts for).
+"""
+
+from repro.join.batch import run_find_relation_batch
+from repro.join.pipeline import PIPELINES, run_find_relation
+
+MAX_PAIRS = 200
+
+
+def test_scalar_pc(benchmark, ole_ope):
+    pairs = ole_ope.pairs[:MAX_PAIRS]
+    stats = benchmark(
+        run_find_relation, PIPELINES["P+C"], ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+def test_batch_pc(benchmark, ole_ope):
+    pairs = ole_ope.pairs[:MAX_PAIRS]
+    stats = benchmark(
+        run_find_relation_batch, ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)

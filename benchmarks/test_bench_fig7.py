@@ -1,0 +1,61 @@
+"""Fig. 7 benchmarks: find-relation throughput of ST2/OP2/APRIL/P+C.
+
+Each benchmark processes the same MBR-filtered candidate stream with
+one method; pytest-benchmark's ops/sec column is (streams per second),
+so pairs/sec = ops/sec * len(pairs). The paper's Fig. 7(a) shape is
+ST2 ~ OP2 << APRIL < P+C.
+"""
+
+import pytest
+
+from repro.join.pipeline import PIPELINES, run_find_relation
+
+METHODS = ("ST2", "OP2", "APRIL", "P+C")
+MAX_PAIRS = 150  # bound the refinement-heavy baselines' round time
+
+
+def _subset(scenario):
+    return scenario.pairs[:MAX_PAIRS]
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7a_ole_ope(benchmark, ole_ope, method):
+    pairs = _subset(ole_ope)
+    stats = benchmark(
+        run_find_relation, PIPELINES[method], ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    assert stats.pairs == len(pairs)
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7a_obe_ope(benchmark, obe_ope, method):
+    pairs = _subset(obe_ope)
+    stats = benchmark(
+        run_find_relation, PIPELINES[method], obe_ope.r_objects, obe_ope.s_objects, pairs
+    )
+    assert stats.pairs == len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7a_tc_tz(benchmark, tc_tz, method):
+    pairs = _subset(tc_tz)
+    stats = benchmark(
+        run_find_relation, PIPELINES[method], tc_tz.r_objects, tc_tz.s_objects, pairs
+    )
+    assert stats.pairs == len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+def test_fig7b_effectiveness_shape(ole_ope):
+    """Not a timing benchmark: asserts the Fig. 7(b) ordering holds."""
+    shares = {}
+    for method in METHODS:
+        stats = run_find_relation(
+            PIPELINES[method], ole_ope.r_objects, ole_ope.s_objects, ole_ope.pairs
+        )
+        shares[method] = stats.undetermined_pct
+    assert shares["ST2"] >= shares["APRIL"] >= shares["P+C"]
+    assert shares["P+C"] < shares["ST2"]

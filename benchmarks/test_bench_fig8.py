@@ -1,0 +1,54 @@
+"""Fig. 8 / Table 4 benchmarks: cost vs object-pair complexity.
+
+Benchmarks OP2 (refine-everything) and P+C on the lowest and highest
+complexity deciles of the OLE-OPE pair stream. The paper's Fig. 8(b)
+shape: OP2's cost explodes with complexity, P+C's stays nearly flat.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import pair_complexity
+from repro.join.pipeline import PIPELINES, run_find_relation
+
+MAX_PAIRS = 60
+
+
+def _complexity_deciles(scenario):
+    ranked = sorted(scenario.pairs, key=lambda pair: pair_complexity(scenario, pair))
+    n = len(ranked)
+    low = ranked[: max(1, n // 10)][:MAX_PAIRS]
+    high = ranked[-max(1, n // 10) :][:MAX_PAIRS]
+    return low, high
+
+
+@pytest.mark.parametrize("method", ("OP2", "P+C"))
+@pytest.mark.parametrize("level", ("low", "high"))
+def test_fig8b_complexity_extremes(benchmark, ole_ope, method, level):
+    low, high = _complexity_deciles(ole_ope)
+    pairs = low if level == "low" else high
+    stats = benchmark(
+        run_find_relation, PIPELINES[method], ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+def test_fig8a_effectiveness_improves_with_complexity(ole_ope):
+    """Assertion benchmark: P+C refines less at high complexity."""
+    low, high = _complexity_deciles(ole_ope)
+    low_stats = run_find_relation("P+C", ole_ope.r_objects, ole_ope.s_objects, low)
+    high_stats = run_find_relation("P+C", ole_ope.r_objects, ole_ope.s_objects, high)
+    assert high_stats.undetermined_pct <= low_stats.undetermined_pct + 10.0
+
+
+def test_fig8b_pc_flat_op2_grows(ole_ope):
+    """Assertion benchmark: the per-pair refinement burden grows much
+    faster for OP2 than for P+C between the complexity extremes."""
+    low, high = _complexity_deciles(ole_ope)
+    op2_low = run_find_relation("OP2", ole_ope.r_objects, ole_ope.s_objects, low)
+    op2_high = run_find_relation("OP2", ole_ope.r_objects, ole_ope.s_objects, high)
+    pc_high = run_find_relation("P+C", ole_ope.r_objects, ole_ope.s_objects, high)
+    # At the high end the P+C pipeline must beat OP2 clearly.
+    assert pc_high.total_seconds < op2_high.total_seconds
+    # And OP2's high-complexity cost must exceed its low-complexity cost.
+    assert op2_high.total_seconds > op2_low.total_seconds

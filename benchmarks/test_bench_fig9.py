@@ -1,0 +1,40 @@
+"""Fig. 9 benchmark: the high-complexity lake-in-park showcase pair.
+
+Times all four methods on the single highest-complexity pair whose
+*inside* relation the P+C intermediate filter proves without
+refinement. The paper reports ~50x for P+C on this pair.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import pair_complexity
+from repro.join.pipeline import PIPELINES, Stage
+from repro.topology.de9im import TopologicalRelation as T
+
+
+@pytest.fixture(scope="module")
+def showcase_pair(ole_ope):
+    pc = PIPELINES["P+C"]
+    best = None
+    best_complexity = -1
+    for i, j in ole_ope.pairs:
+        outcome = pc.find_relation(ole_ope.r_objects[i], ole_ope.s_objects[j])
+        if outcome.relation is T.INSIDE and outcome.stage is not Stage.REFINEMENT:
+            complexity = pair_complexity(ole_ope, (i, j))
+            if complexity > best_complexity:
+                best_complexity = complexity
+                best = (ole_ope.r_objects[i], ole_ope.s_objects[j])
+    if best is None:
+        pytest.skip("no IF-resolved inside pair at benchmark scale")
+    return best
+
+
+@pytest.mark.parametrize("method", ("ST2", "OP2", "APRIL", "P+C"))
+def test_fig9_showcase_pair(benchmark, showcase_pair, method):
+    lake, park = showcase_pair
+    pipeline = PIPELINES[method]
+    outcome = benchmark(pipeline.find_relation, lake, park)
+    assert outcome.relation is T.INSIDE
+    benchmark.extra_info["lake_vertices"] = lake.num_vertices
+    benchmark.extra_info["park_vertices"] = park.num_vertices
+    benchmark.extra_info["stage"] = outcome.stage.value

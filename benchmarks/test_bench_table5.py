@@ -1,0 +1,35 @@
+"""Table 5 benchmarks: find-relation vs relate_p throughput.
+
+The paper's shape: relate_p is at least as fast as find relation for
+every predicate, and far faster for predicates (like meets) whose
+non-satisfaction is provable from one or two interval merge-joins.
+"""
+
+import pytest
+
+from repro.join.pipeline import PIPELINES, run_find_relation, run_relate
+from repro.topology.de9im import TopologicalRelation as T
+
+MAX_PAIRS = 200
+
+
+def test_table5_find_relation(benchmark, ole_ope):
+    pairs = ole_ope.pairs[:MAX_PAIRS]
+    stats = benchmark(
+        run_find_relation, PIPELINES["P+C"], ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+
+
+@pytest.mark.parametrize(
+    "predicate", [T.EQUALS, T.MEETS, T.INSIDE], ids=lambda p: p.value.replace(" ", "_")
+)
+def test_table5_relate_p(benchmark, ole_ope, predicate):
+    pairs = ole_ope.pairs[:MAX_PAIRS]
+    stats = benchmark(
+        run_relate, predicate, ole_ope.r_objects, ole_ope.s_objects, pairs
+    )
+    benchmark.extra_info["pairs"] = len(pairs)
+    benchmark.extra_info["undetermined_pct"] = round(stats.undetermined_pct, 2)
+    benchmark.extra_info["matches"] = int(stats.relation_counts.get(predicate, 0))

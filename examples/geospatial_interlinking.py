@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Geo-spatial interlinking: discover all topological links between two
+datasets (the paper's motivating application, Sec. 1).
+
+Joins the synthetic US-landmarks (TL) and US-water-areas (TW) datasets
+and emits one link per candidate pair — e.g. ``landmark#12 inside
+water#88`` — comparing the classic two-phase method (ST2) against the
+paper's P+C pipeline on the same pair stream.
+
+Run:  python examples/geospatial_interlinking.py [--scale 0.5]
+"""
+
+import argparse
+from collections import Counter
+
+from repro.datasets import load_scenario
+from repro.join.pipeline import PIPELINES, Stage, run_find_relation
+from repro.topology import TopologicalRelation as T
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    parser.add_argument("--show", type=int, default=12, help="how many links to print")
+    args = parser.parse_args()
+
+    print(f"building TL-TW scenario (scale={args.scale}) ...")
+    scenario = load_scenario("TL-TW", scale=args.scale)
+    print(
+        f"{scenario.r_dataset.num_polygons} landmarks x "
+        f"{scenario.s_dataset.num_polygons} water areas -> "
+        f"{scenario.num_candidates} MBR-filtered candidate pairs\n"
+    )
+
+    # Discover links with the paper's pipeline, remembering provenance.
+    pc = PIPELINES["P+C"]
+    links: list[tuple[int, int, T, Stage]] = []
+    for i, j in scenario.pairs:
+        outcome = pc.find_relation(scenario.r_objects[i], scenario.s_objects[j])
+        if outcome.relation is not T.DISJOINT:
+            links.append((i, j, outcome.relation, outcome.stage))
+
+    print(f"discovered {len(links)} non-disjoint links:")
+    for i, j, relation, stage in links[: args.show]:
+        provenance = "raster filter" if stage is not Stage.REFINEMENT else "DE-9IM"
+        print(f"  landmark#{i:<4} {relation.value:<12} water#{j:<4}  [{provenance}]")
+    if len(links) > args.show:
+        print(f"  ... and {len(links) - args.show} more")
+
+    by_relation = Counter(relation for *_ignored, relation, _stage in links)
+    print("\nlink types:", {r.value: n for r, n in by_relation.most_common()})
+
+    # Method comparison on the identical pair stream.
+    print("\nmethod comparison (same candidate pairs):")
+    for method in ("ST2", "P+C"):
+        stats = run_find_relation(
+            method, scenario.r_objects, scenario.s_objects, scenario.pairs
+        )
+        print(
+            f"  {method:<5} {stats.throughput:>10,.0f} pairs/s, "
+            f"{stats.undetermined_pct:5.1f}% refined, "
+            f"geometry loaded for {stats.geometry_access_pct:4.1f}% of objects"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Human intervention in green areas: buildings inside parks.
+
+The paper motivates the OBx-OPx scenarios as measuring construction
+inside parks. This example joins the synthetic EU-buildings (OBE) and
+EU-parks (OPE) datasets with a *relate_p* predicate join (Sec. 3.3):
+instead of computing each pair's most specific relation, it asks one
+targeted question — "is this building inside this park?" — which the
+predicate-specific filter answers almost entirely from the rasters.
+
+Run:  python examples/parks_and_buildings.py [--scale 0.5]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.datasets import load_scenario
+from repro.join.pipeline import run_find_relation, run_relate
+from repro.topology import TopologicalRelation as T
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    args = parser.parse_args()
+
+    print(f"building OBE-OPE scenario (scale={args.scale}) ...")
+    scenario = load_scenario("OBE-OPE", scale=args.scale)
+    print(
+        f"{scenario.r_dataset.num_polygons} buildings x "
+        f"{scenario.s_dataset.num_polygons} parks -> "
+        f"{scenario.num_candidates} candidate pairs\n"
+    )
+
+    # Predicate join: buildings covered by (i.e. fully within) a park.
+    stats = run_relate(
+        T.COVERED_BY, scenario.r_objects, scenario.s_objects, scenario.pairs
+    )
+    matches = stats.relation_counts[T.COVERED_BY]
+    print(
+        f"relate[covered by]: {matches} building-in-park pairs, "
+        f"{stats.throughput:,.0f} pairs/s, {stats.undetermined_pct:.1f}% refined"
+    )
+
+    # Aggregate per park: which parks have the most construction?
+    per_park: dict[int, int] = defaultdict(int)
+    from repro.join.pipeline import relate_predicate
+
+    for i, j in scenario.pairs:
+        holds, _ = relate_predicate(
+            T.COVERED_BY, scenario.r_objects[i], scenario.s_objects[j]
+        )
+        if holds:
+            per_park[j] += 1
+    top = sorted(per_park.items(), key=lambda kv: -kv[1])[:5]
+    print("\nmost built-up parks:")
+    for park_id, count in top:
+        park = scenario.s_objects[park_id]
+        print(
+            f"  park#{park_id:<4} {count:3d} buildings "
+            f"(park area {park.polygon.area:8.1f}, {park.num_vertices} vertices)"
+        )
+
+    # For contrast: the general find-relation join on the same stream.
+    general = run_find_relation(
+        "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs
+    )
+    print(
+        f"\nfind relation (P+C): {general.throughput:,.0f} pairs/s — the targeted "
+        f"relate_p join is {stats.throughput / general.throughput:.2f}x faster"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Topological selection queries over an indexed dataset.
+
+Indexes the synthetic EU-parks dataset once (R-tree + APRIL), then
+answers ad-hoc queries like "which parks lie inside this viewport?" or
+"which parks touch this administrative boundary?" — with the same
+three-stage pipeline as the join, and an explain trace for one pair.
+
+Run:  python examples/selection_queries.py
+"""
+
+from repro.core.selection import TopologySelection
+from repro.datasets import load_dataset
+from repro.geometry import Polygon
+from repro.join.explain import explain_pair
+from repro.join.objects import SpatialObject
+from repro.raster import build_april
+from repro.topology import TopologicalRelation as T
+
+
+def main() -> None:
+    parks = load_dataset("OPE", scale=0.5).polygons
+    print(f"indexing {len(parks)} parks ...")
+    index = TopologySelection(parks, grid_order=11)
+
+    viewport = Polygon.box(250, 250, 700, 700)
+    for predicate in (T.INTERSECTS, T.INSIDE, T.MEETS, T.DISJOINT):
+        hits = index.select(viewport, predicate)
+        stats = index.last_query_stats
+        print(
+            f"parks {predicate.value:<12} viewport: {len(hits):4d} "
+            f"(candidates {stats['candidates']}, filter resolved {stats['filtered']}, "
+            f"refined {stats['refined']})"
+        )
+
+    # Drill into one candidate with the explain trace.
+    inside_hits = index.select(viewport, T.INSIDE)
+    if inside_hits:
+        park_id = inside_hits[0]
+        r = SpatialObject(park_id, parks[park_id], parks[park_id].bbox,
+                          build_april(parks[park_id], index.grid))
+        s = SpatialObject(-1, viewport, viewport.bbox, build_april(viewport, index.grid))
+        print(f"\nwhy is park#{park_id} inside the viewport?")
+        print(explain_pair(r, s).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""Command-line interface for the library.
+
+Operates on WKT (one geometry per line) or GeoJSON files::
+
+    python -m repro relate a.wkt b.wkt                # one pair per line pair
+    python -m repro join r.wkt s.wkt --method P+C     # full topology join
+    python -m repro join r.wkt s.wkt --predicate inside
+    python -m repro select data.geojson --query "POLYGON((...))" --predicate intersects
+    python -m repro approximate data.wkt --grid-order 12 --out approx.npz
+    python -m repro stats data.wkt
+
+The experiment harness has its own entry point
+(``python -m repro.experiments``), as does the dataset catalog
+(``python -m repro.datasets``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import TopologyJoin, TopologySelection
+from repro.datasets.geojson import load_geojson
+from repro.datasets.io import load_wkt_file
+from repro.geometry import Polygon, loads_wkt_geometry
+from repro.geometry.multipolygon import MultiPolygon
+from repro.topology import TopologicalRelation, most_specific_relation, relate
+
+
+def _load_geometries(path: str) -> list:
+    """Load polygons/multipolygons from a .wkt or .geojson file."""
+    p = Path(path)
+    if p.suffix.lower() in (".geojson", ".json"):
+        geometries = [f.geometry for f in load_geojson(p)]
+    else:
+        geometries = load_wkt_file(p)
+    areal = [g for g in geometries if isinstance(g, (Polygon, MultiPolygon))]
+    if not areal:
+        raise SystemExit(f"{path}: no polygonal geometries found")
+    return areal
+
+
+def _predicate(name: str) -> TopologicalRelation:
+    for relation in TopologicalRelation:
+        if relation.value.replace(" ", "") == name.replace(" ", "").replace("_", "").lower():
+            return relation
+    raise SystemExit(
+        f"unknown predicate {name!r}; choose from "
+        f"{[r.value for r in TopologicalRelation]}"
+    )
+
+
+def cmd_relate(args: argparse.Namespace) -> int:
+    a_list = _load_geometries(args.a)
+    b_list = _load_geometries(args.b)
+    n = min(len(a_list), len(b_list))
+    for k in range(n):
+        matrix = relate(a_list[k], b_list[k])
+        relation = most_specific_relation(matrix)
+        print(f"{k}\t{matrix.code}\t{relation.value}")
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    r = _load_geometries(args.r)
+    s = _load_geometries(args.s)
+    join = TopologyJoin(r, s, grid_order=args.grid_order, method=args.method)
+    if args.predicate:
+        predicate = _predicate(args.predicate)
+        count = 0
+        for i, j in join.pairs_satisfying(predicate):
+            print(f"{i}\t{predicate.value}\t{j}")
+            count += 1
+        print(f"# {count} pairs satisfy {predicate.value}", file=sys.stderr)
+    else:
+        count = 0
+        for link in join.find_relations(include_disjoint=args.include_disjoint):
+            print(f"{link.r_index}\t{link.relation.value}\t{link.s_index}")
+            count += 1
+        stats = join.stats()
+        print(
+            f"# {count} links from {stats.pairs} candidates; "
+            f"{stats.undetermined_pct:.1f}% refined, {stats.throughput:,.0f} pairs/s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    data = _load_geometries(args.data)
+    query = loads_wkt_geometry(args.query)
+    if not isinstance(query, (Polygon, MultiPolygon)):
+        raise SystemExit("--query must be a POLYGON or MULTIPOLYGON WKT")
+    index = TopologySelection(data, grid_order=args.grid_order)
+    predicate = _predicate(args.predicate)
+    hits = index.select(query, predicate)
+    for i in hits:
+        print(i)
+    stats = index.last_query_stats
+    print(
+        f"# {len(hits)} objects {predicate.value} the query "
+        f"(candidates {stats.get('candidates', 0)}, refined {stats.get('refined', 0)})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_approximate(args: argparse.Namespace) -> int:
+    from repro.geometry.box import Box
+    from repro.raster.april import build_april
+    from repro.raster.grid import RasterGrid
+    from repro.raster.storage import save_approximations
+
+    data = _load_geometries(args.data)
+    extent = Box.union_all([g.bbox for g in data]).expanded(1e-9)
+    grid = RasterGrid(extent, order=args.grid_order)
+    approximations = [build_april(g, grid) for g in data]
+    save_approximations(args.out, approximations)
+    total = sum(a.nbytes for a in approximations)
+    print(
+        f"wrote {len(approximations)} approximations "
+        f"({total / 1024:.1f} KiB of intervals) to {args.out}"
+    )
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    data = _load_geometries(args.data)
+    vertices = [g.num_vertices for g in data]
+    areas = [g.area for g in data]
+    print(f"geometries:     {len(data)}")
+    print(f"vertices:       total {sum(vertices)}, "
+          f"min {min(vertices)}, max {max(vertices)}, "
+          f"mean {sum(vertices) / len(vertices):.1f}")
+    print(f"area:           total {sum(areas):.3f}, max {max(areas):.3f}")
+    multis = sum(1 for g in data if not g.is_connected)
+    print(f"multipolygons:  {multis}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("relate", help="DE-9IM matrix per aligned geometry pair")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(func=cmd_relate)
+
+    p = sub.add_parser("join", help="topology join between two files")
+    p.add_argument("r")
+    p.add_argument("s")
+    p.add_argument("--method", default="P+C", choices=["ST2", "OP2", "APRIL", "P+C"])
+    p.add_argument("--predicate", default=None, help="relate_p join instead of find-relation")
+    p.add_argument("--grid-order", type=int, default=11)
+    p.add_argument("--include-disjoint", action="store_true")
+    p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser("select", help="topological selection over one file")
+    p.add_argument("data")
+    p.add_argument("--query", required=True, help="query polygon as WKT")
+    p.add_argument("--predicate", default="intersects")
+    p.add_argument("--grid-order", type=int, default=11)
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("approximate", help="precompute APRIL approximations to .npz")
+    p.add_argument("data")
+    p.add_argument("--out", required=True)
+    p.add_argument("--grid-order", type=int, default=11)
+    p.set_defaults(func=cmd_approximate)
+
+    p = sub.add_parser("stats", help="dataset statistics")
+    p.add_argument("data")
+    p.set_defaults(func=cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""High-level facade over the paper's contribution.
+
+:class:`TopologyJoin` ties the whole stack together for downstream
+users: give it two polygon collections, and it handles grid sizing,
+APRIL preprocessing (with optional persistence), the MBR filter-step
+join, and streaming find-relation / relate_p results through any of the
+four pipelines — the P+C method of the paper by default.
+"""
+
+from repro.core.selection import TopologySelection
+from repro.core.topology_join import JoinResult, TopologyJoin
+
+__all__ = ["JoinResult", "TopologyJoin", "TopologySelection"]

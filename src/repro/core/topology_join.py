@@ -1,0 +1,174 @@
+"""End-to-end spatial topology joins.
+
+Everything the paper's evaluation pipeline does, behind one class::
+
+    join = TopologyJoin(districts, wetlands, grid_order=11)
+    for link in join.find_relations():          # most specific relation
+        print(link.r_index, link.relation.value, link.s_index)
+
+    inside = list(join.pairs_satisfying(T.INSIDE))   # relate_p join
+    join.stats("P+C")                                # JoinRunStats
+
+Preprocessing (APRIL construction) happens once, lazily, on the first
+join call; ``save_preprocessing`` / a ``preprocessed`` constructor
+argument persist it across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.join.mbr_join import plane_sweep_mbr_join
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import (
+    PIPELINES,
+    Stage,
+    relate_predicate,
+    run_find_relation,
+)
+from repro.join.stats import JoinRunStats
+from repro.raster.april import AprilApproximation, build_april
+from repro.raster.grid import RasterGrid
+from repro.raster.storage import load_approximations, save_approximations
+from repro.topology.de9im import TopologicalRelation
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """One discovered link: indices into the two inputs + provenance."""
+
+    r_index: int
+    s_index: int
+    relation: TopologicalRelation
+    #: True when the relation was proven without DE-9IM refinement.
+    filtered: bool
+
+
+class TopologyJoin:
+    """A topology join between two polygon collections.
+
+    Parameters
+    ----------
+    r_polygons, s_polygons:
+        The two inputs. Indices in results refer to these sequences.
+    grid_order:
+        Hilbert grid order; the grid covers the union of both extents.
+    method:
+        One of ``"ST2"``, ``"OP2"``, ``"APRIL"``, ``"P+C"`` (default).
+    preprocessed:
+        Optional pair of ``.npz`` paths (for r and s) previously written
+        by :meth:`save_preprocessing`; skips rasterisation on load.
+    """
+
+    def __init__(
+        self,
+        r_polygons: Sequence[Polygon],
+        s_polygons: Sequence[Polygon],
+        grid_order: int = 11,
+        method: str = "P+C",
+        preprocessed: tuple[str | Path, str | Path] | None = None,
+    ) -> None:
+        if method not in PIPELINES:
+            raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
+        if not r_polygons or not s_polygons:
+            raise ValueError("both inputs must be non-empty")
+        self.method = method
+        self.grid_order = grid_order
+        self._r_polygons = list(r_polygons)
+        self._s_polygons = list(s_polygons)
+        self._preprocessed = preprocessed
+
+    # ------------------------------------------------------------------
+    # lazy preprocessing
+    # ------------------------------------------------------------------
+    @cached_property
+    def grid(self) -> RasterGrid:
+        dataspace = Box.union_all(
+            [p.bbox for p in self._r_polygons] + [p.bbox for p in self._s_polygons]
+        ).expanded(1e-9)
+        return RasterGrid(dataspace, order=self.grid_order)
+
+    @cached_property
+    def r_objects(self) -> list[SpatialObject]:
+        return self._make_objects(self._r_polygons, side=0)
+
+    @cached_property
+    def s_objects(self) -> list[SpatialObject]:
+        return self._make_objects(self._s_polygons, side=1)
+
+    def _make_objects(self, polygons: list[Polygon], side: int) -> list[SpatialObject]:
+        approximations: list[AprilApproximation] | None = None
+        if self._preprocessed is not None:
+            approximations = load_approximations(self._preprocessed[side])
+            if len(approximations) != len(polygons):
+                raise ValueError(
+                    f"preprocessed file holds {len(approximations)} approximations "
+                    f"for {len(polygons)} polygons"
+                )
+            if not approximations[0].grid.compatible_with(self.grid):
+                raise ValueError(
+                    "preprocessed approximations were built on a different grid"
+                )
+        objects = []
+        for oid, polygon in enumerate(polygons):
+            april = (
+                approximations[oid]
+                if approximations is not None
+                else build_april(polygon, self.grid)
+            )
+            objects.append(
+                SpatialObject(oid=oid, polygon=polygon, box=polygon.bbox, april=april)
+            )
+        return objects
+
+    @cached_property
+    def candidate_pairs(self) -> list[tuple[int, int]]:
+        """The filter step: pairs whose MBRs intersect."""
+        pairs = plane_sweep_mbr_join(
+            [o.box for o in self.r_objects], [o.box for o in self.s_objects]
+        )
+        pairs.sort()
+        return pairs
+
+    def save_preprocessing(self, r_path: str | Path, s_path: str | Path) -> None:
+        """Persist both inputs' APRIL approximations for future runs."""
+        save_approximations(r_path, [o.require_april() for o in self.r_objects])
+        save_approximations(s_path, [o.require_april() for o in self.s_objects])
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def find_relations(self, include_disjoint: bool = False) -> Iterator[JoinResult]:
+        """Stream the most specific relation of every candidate pair."""
+        pipeline = PIPELINES[self.method]
+        for i, j in self.candidate_pairs:
+            outcome = pipeline.find_relation(self.r_objects[i], self.s_objects[j])
+            if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
+                continue
+            yield JoinResult(
+                r_index=i,
+                s_index=j,
+                relation=outcome.relation,
+                filtered=outcome.stage is not Stage.REFINEMENT,
+            )
+
+    def pairs_satisfying(self, predicate: TopologicalRelation) -> Iterator[tuple[int, int]]:
+        """relate_p join: candidate pairs for which ``predicate`` holds."""
+        for i, j in self.candidate_pairs:
+            holds, _ = relate_predicate(predicate, self.r_objects[i], self.s_objects[j])
+            if holds:
+                yield (i, j)
+
+    def stats(self, method: str | None = None) -> JoinRunStats:
+        """Run the full join with stage timing and return its statistics."""
+        return run_find_relation(
+            method or self.method, self.r_objects, self.s_objects, self.candidate_pairs
+        )
+
+
+__all__ = ["JoinResult", "TopologyJoin"]

@@ -1,0 +1,54 @@
+"""Synthetic TIGER/OSM-style polygon datasets.
+
+The paper evaluates on TIGER 2015 and OpenStreetMap collections
+(landmarks, water areas, counties, zip codes, buildings, lakes, parks).
+Those datasets are not redistributable here, so this package generates
+deterministic synthetic stand-ins that reproduce each entity class's
+*geometric regime* — the property the filters actually respond to:
+
+- administrative layers (counties/zip codes) are edge-sharing
+  tessellations, producing *meets* / *inside* / *covers* mixes;
+- natural areas (lakes, parks, water, landmarks) are star-shaped "blob"
+  polygons with class-specific size and vertex-count distributions;
+- buildings are small rectilinear footprints clustered into towns, and
+  partially placed inside parks to reproduce the OBx-OPx scenarios.
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from repro.datasets.catalog import (
+    DATASETS,
+    SCENARIOS,
+    ScenarioData,
+    SpatialDataset,
+    dataset_names,
+    load_dataset,
+    load_scenario,
+    scenario_names,
+)
+from repro.datasets.io import load_wkt_file, save_wkt_file
+from repro.datasets.synthetic import (
+    blob_polygon,
+    generate_blobs,
+    generate_buildings,
+    generate_tessellation,
+    rectilinear_polygon,
+)
+
+__all__ = [
+    "DATASETS",
+    "SCENARIOS",
+    "ScenarioData",
+    "SpatialDataset",
+    "blob_polygon",
+    "dataset_names",
+    "generate_blobs",
+    "generate_buildings",
+    "generate_tessellation",
+    "load_dataset",
+    "load_scenario",
+    "load_wkt_file",
+    "rectilinear_polygon",
+    "save_wkt_file",
+    "scenario_names",
+]

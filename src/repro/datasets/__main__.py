@@ -1,0 +1,65 @@
+"""Dataset utility CLI.
+
+Examples::
+
+    python -m repro.datasets list
+    python -m repro.datasets export --dataset OLE --scale 0.5 --out ole.wkt
+    python -m repro.datasets stats --dataset TC
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.catalog import DATASETS, dataset_names, load_dataset, scenario_names
+from repro.datasets.io import save_wkt_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datasets",
+        description="Inspect and export the synthetic dataset catalog.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets and scenarios")
+
+    export = sub.add_parser("export", help="write a dataset as WKT (one polygon per line)")
+    export.add_argument("--dataset", required=True, choices=dataset_names())
+    export.add_argument("--scale", type=float, default=1.0)
+    export.add_argument("--out", required=True, help="output path")
+
+    stats = sub.add_parser("stats", help="print a dataset's size statistics")
+    stats.add_argument("--dataset", required=True, choices=dataset_names())
+    stats.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("datasets:")
+        for name, (description, _) in DATASETS.items():
+            print(f"  {name:<4} {description}")
+        print("scenarios:", ", ".join(scenario_names()))
+        return 0
+
+    dataset = load_dataset(args.dataset, args.scale)
+    if args.command == "export":
+        count = save_wkt_file(args.out, dataset.polygons)
+        print(f"wrote {count} polygons to {args.out}")
+        return 0
+
+    # stats
+    vertices = [p.num_vertices for p in dataset.polygons]
+    print(f"{dataset.name}: {dataset.description}")
+    print(f"  polygons:        {dataset.num_polygons}")
+    print(f"  total vertices:  {dataset.total_vertices}")
+    print(f"  vertices/poly:   min {min(vertices)}, max {max(vertices)}, "
+          f"mean {sum(vertices) / len(vertices):.1f}")
+    print(f"  geometry size:   {dataset.geometry_nbytes / 1024:.1f} KiB")
+    print(f"  MBR size:        {dataset.mbr_nbytes / 1024:.1f} KiB")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

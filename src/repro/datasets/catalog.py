@@ -1,0 +1,279 @@
+"""Named datasets and evaluation scenarios (paper Tables 2 and 3).
+
+Every dataset of the paper's Table 2 has a synthetic stand-in here,
+generated deterministically from a fixed seed and a ``scale`` knob that
+multiplies object counts (laptop-scale defaults; raise ``scale`` for
+larger runs). The seven Table-3 scenario combinations are exposed via
+:func:`load_scenario`, which builds both datasets, overlays the shared
+Hilbert grid, precomputes APRIL approximations, and runs the MBR
+filter-step join to produce the candidate pair stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    generate_blobs,
+    generate_buildings,
+    generate_tessellation,
+)
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.join.mbr_join import plane_sweep_mbr_join
+from repro.join.objects import SpatialObject, make_objects
+from repro.raster.grid import RasterGrid
+
+#: All synthetic datasets share one world so cross-dataset scenarios
+#: are meaningful (the paper splits OSM by continent for the same
+#: reason).
+REGION = Box(0.0, 0.0, 1000.0, 1000.0)
+
+#: Default grid: 2^11 cells per dimension over the region (the paper
+#: uses 2^16 over far larger dataspaces; see DESIGN.md §4).
+DEFAULT_GRID_ORDER = 11
+
+
+@dataclass
+class SpatialDataset:
+    """A named polygon collection plus size accounting (Table 2)."""
+
+    name: str
+    description: str
+    polygons: list[Polygon]
+
+    @property
+    def num_polygons(self) -> int:
+        return len(self.polygons)
+
+    @property
+    def total_vertices(self) -> int:
+        return sum(p.num_vertices for p in self.polygons)
+
+    @property
+    def geometry_nbytes(self) -> int:
+        """Exact-geometry footprint: 16 bytes per vertex (two float64)."""
+        return 16 * self.total_vertices
+
+    @property
+    def mbr_nbytes(self) -> int:
+        """MBR footprint: four float64 per object."""
+        return 32 * self.num_polygons
+
+    def boxes(self) -> list[Box]:
+        return [p.bbox for p in self.polygons]
+
+    def to_objects(self, grid: RasterGrid | None) -> list[SpatialObject]:
+        return make_objects(self.polygons, grid)
+
+
+# ----------------------------------------------------------------------
+# dataset generators (counts at scale=1.0)
+# ----------------------------------------------------------------------
+def _rng(name: str) -> np.random.Generator:
+    # Stable per-dataset stream: same polygons in every scenario.
+    return np.random.default_rng(_SEEDS[name])
+
+
+_SEEDS = {
+    "TL": 101, "TW": 102, "TC": 103, "TZ": 104,
+    "OBE": 201, "OLE": 202, "OPE": 203,
+    "OBN": 301, "OLN": 302, "OPN": 303,
+}
+
+
+def _n(base: int, scale: float) -> int:
+    return max(1, int(round(base * scale)))
+
+
+def _gen_tl(scale: float) -> list[Polygon]:
+    return generate_blobs(
+        _rng("TL"), _n(320, scale), REGION, radius_range=(0.6, 15.0), vertices_range=(8, 90)
+    )
+
+
+def _gen_tw(scale: float) -> list[Polygon]:
+    return generate_blobs(
+        _rng("TW"), _n(450, scale), REGION, radius_range=(0.5, 12.0),
+        vertices_range=(10, 160), roughness=0.3,
+    )
+
+
+def _gen_tc(scale: float) -> list[Polygon]:
+    # Counties: a coarse tessellation with very detailed boundaries
+    # (the paper's counties average ~2300 vertices each). The jitter is
+    # small relative to a county so boundaries stay smooth at grid
+    # scale and the interval lists coalesce well.
+    side = max(2, int(round(7 * scale**0.5)))
+    return generate_tessellation(
+        _rng("TC"), REGION, nx=side + 1, ny=side,
+        corner_jitter=0.28, edge_points=550, edge_jitter=0.02,
+    )
+
+
+def _gen_tz(scale: float) -> list[Polygon]:
+    side = max(4, int(round(24 * scale**0.5)))
+    return generate_tessellation(
+        _rng("TZ"), REGION, nx=side + 1, ny=side,
+        corner_jitter=0.3, edge_points=80, edge_jitter=0.04,
+    )
+
+
+def _gen_ope(scale: float) -> list[Polygon]:
+    return generate_blobs(
+        _rng("OPE"), _n(230, scale), REGION, radius_range=(0.8, 60.0),
+        vertices_range=(10, 700), roughness=0.32,
+    )
+
+
+def _gen_ole(scale: float) -> list[Polygon]:
+    hosts = load_dataset("OPE", scale).polygons
+    return generate_blobs(
+        _rng("OLE"), _n(380, scale), REGION, radius_range=(0.6, 25.0),
+        vertices_range=(12, 520), roughness=0.28,
+        hosts=hosts, hosted_fraction=0.55,
+    )
+
+
+def _gen_obe(scale: float) -> list[Polygon]:
+    hosts = load_dataset("OPE", scale).polygons
+    return generate_buildings(
+        _rng("OBE"), _n(1300, scale), REGION, size_range=(0.6, 3.0),
+        cluster_count=16, hosts=hosts, hosted_fraction=0.4,
+    )
+
+
+def _gen_opn(scale: float) -> list[Polygon]:
+    return generate_blobs(
+        _rng("OPN"), _n(180, scale), REGION, radius_range=(0.7, 55.0),
+        vertices_range=(8, 450), roughness=0.3,
+    )
+
+
+def _gen_oln(scale: float) -> list[Polygon]:
+    hosts = load_dataset("OPN", scale).polygons
+    return generate_blobs(
+        _rng("OLN"), _n(330, scale), REGION, radius_range=(0.5, 22.0),
+        vertices_range=(10, 420), roughness=0.28,
+        hosts=hosts, hosted_fraction=0.5,
+    )
+
+
+def _gen_obn(scale: float) -> list[Polygon]:
+    hosts = load_dataset("OPN", scale).polygons
+    return generate_buildings(
+        _rng("OBN"), _n(950, scale), REGION, size_range=(0.6, 3.2),
+        cluster_count=12, hosts=hosts, hosted_fraction=0.35,
+    )
+
+
+#: Table 2's datasets: name -> (description, generator).
+DATASETS: dict[str, tuple[str, Callable[[float], list[Polygon]]]] = {
+    "TL": ("US Landmarks (synthetic analogue)", _gen_tl),
+    "TW": ("US Water areas (synthetic analogue)", _gen_tw),
+    "TC": ("US Counties (synthetic analogue)", _gen_tc),
+    "TZ": ("US Zip Codes (synthetic analogue)", _gen_tz),
+    "OBE": ("EU Buildings (synthetic analogue)", _gen_obe),
+    "OLE": ("EU Lakes (synthetic analogue)", _gen_ole),
+    "OPE": ("EU Parks (synthetic analogue)", _gen_ope),
+    "OBN": ("NA Buildings (synthetic analogue)", _gen_obn),
+    "OLN": ("NA Lakes (synthetic analogue)", _gen_oln),
+    "OPN": ("NA Parks (synthetic analogue)", _gen_opn),
+}
+
+#: Table 3's scenario combinations: name -> (R dataset, S dataset).
+SCENARIOS: dict[str, tuple[str, str]] = {
+    "TL-TW": ("TL", "TW"),
+    "TL-TC": ("TL", "TC"),
+    "TC-TZ": ("TC", "TZ"),
+    "OLE-OPE": ("OLE", "OPE"),
+    "OLN-OPN": ("OLN", "OPN"),
+    "OBE-OPE": ("OBE", "OPE"),
+    "OBN-OPN": ("OBN", "OPN"),
+}
+
+
+def dataset_names() -> list[str]:
+    return list(DATASETS)
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, scale: float = 1.0) -> SpatialDataset:
+    """Generate (and cache) a named dataset at the given scale."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    description, generator = DATASETS[name]
+    return SpatialDataset(name=name, description=description, polygons=generator(scale))
+
+
+@dataclass
+class ScenarioData:
+    """Everything an experiment needs for one Table-3 scenario."""
+
+    name: str
+    r_dataset: SpatialDataset
+    s_dataset: SpatialDataset
+    grid: RasterGrid
+    r_objects: list[SpatialObject]
+    s_objects: list[SpatialObject]
+    #: Candidate pairs from the MBR filter-step join.
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.pairs)
+
+
+@lru_cache(maxsize=8)
+def load_scenario(
+    name: str,
+    scale: float = 1.0,
+    grid_order: int = DEFAULT_GRID_ORDER,
+) -> ScenarioData:
+    """Build a full scenario: datasets, grid, APRIL, candidate pairs."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; available: {scenario_names()}")
+    r_name, s_name = SCENARIOS[name]
+    r_dataset = load_dataset(r_name, scale)
+    s_dataset = load_dataset(s_name, scale)
+
+    dataspace = Box.union_all(
+        [Box.union_all(r_dataset.boxes()), Box.union_all(s_dataset.boxes())]
+    ).expanded(1e-6)
+    grid = RasterGrid(dataspace, order=grid_order)
+
+    r_objects = r_dataset.to_objects(grid)
+    s_objects = s_dataset.to_objects(grid)
+    pairs = plane_sweep_mbr_join([o.box for o in r_objects], [o.box for o in s_objects])
+    pairs.sort()
+    return ScenarioData(
+        name=name,
+        r_dataset=r_dataset,
+        s_dataset=s_dataset,
+        grid=grid,
+        r_objects=r_objects,
+        s_objects=s_objects,
+        pairs=pairs,
+    )
+
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_GRID_ORDER",
+    "REGION",
+    "SCENARIOS",
+    "ScenarioData",
+    "SpatialDataset",
+    "dataset_names",
+    "load_dataset",
+    "load_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,41 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+| Module    | Regenerates                                            |
+|-----------|--------------------------------------------------------|
+| `table2`  | Table 2 — dataset statistics                           |
+| `table3`  | Table 3 — candidate pairs per scenario                 |
+| `fig7`    | Fig. 7(a) throughput, Fig. 7(b) % undetermined         |
+| `fig8`    | Table 4 complexity levels, Fig. 8(a)/(b) scalability   |
+| `fig9`    | Fig. 9 — high-complexity lake-in-park case study       |
+| `table5`  | Table 5 — find-relation vs relate_p throughput         |
+
+Run from the command line::
+
+    python -m repro.experiments all --scale 1.0
+    python -m repro.experiments fig7a fig8b --scale 0.5
+
+Absolute numbers differ from the paper (pure-Python engine, synthetic
+scaled-down data); the comparisons in EXPERIMENTS.md are about shapes:
+method ordering, relative factors, and trends across complexity.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.experiments.fig8 import run_fig8a, run_fig8b, run_table4
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table5 import run_table5
+
+__all__ = [
+    "ExperimentResult",
+    "run_fig7a",
+    "run_fig7b",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig9",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

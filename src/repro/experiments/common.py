@@ -1,0 +1,102 @@
+"""Shared experiment plumbing: result containers and text rendering.
+
+Experiments return an :class:`ExperimentResult` — a structured record
+(id, title, column names, rows) that renders as an aligned text table
+or an ASCII bar chart, so every figure and table of the paper has both
+a machine-readable and a human-readable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+#: The paper's Fig. 7 scenario order.
+ALL_SCENARIOS = ("TL-TW", "TL-TC", "TC-TZ", "OLE-OPE", "OLN-OPN", "OBE-OPE", "OBN-OPN")
+
+#: The paper's Fig. 7 method order.
+ALL_METHODS = ("ST2", "OP2", "APRIL", "P+C")
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one named column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Aligned text table with the title and notes."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for k, cell in enumerate(row):
+                widths[k] = max(widths[k], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[k]) for k, cell in enumerate(cells))
+
+        out = [f"== {self.experiment_id}: {self.title} ==", line(header),
+               line(["-" * w for w in widths])]
+        out.extend(line(row) for row in body)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def render_bars(self, value_column: str, label_column: str | None = None, width: int = 48) -> str:
+        """ASCII bar chart of one numeric column (for 'figure' outputs)."""
+        labels = self.column(label_column) if label_column else self.column(self.columns[0])
+        values = [float(v) for v in self.column(value_column)]
+        peak = max(values) if values else 1.0
+        peak = peak or 1.0
+        label_w = max((len(str(l)) for l in labels), default=0)
+        out = [f"== {self.experiment_id}: {self.title} [{value_column}] =="]
+        for label, value in zip(labels, values):
+            bar = "#" * max(0, int(round(width * value / peak)))
+            out.append(f"{str(label).rjust(label_w)} | {bar} {_fmt(value)}")
+        return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+__all__ = ["ALL_METHODS", "ALL_SCENARIOS", "ExperimentResult"]

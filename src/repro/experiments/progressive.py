@@ -1,0 +1,71 @@
+"""Extension experiment: progressive interlinking x intermediate filter.
+
+The paper positions progressive pair scheduling [25] as *orthogonal* to
+its contribution. This experiment verifies the claim empirically: for
+each scheduler, it reports how many links are discovered within a 25% /
+50% pair budget, under both ST2 (refine everything) and P+C — showing
+that (a) better scheduling front-loads links regardless of method and
+(b) the intermediate filter multiplies the pairs a time budget buys.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.catalog import DEFAULT_GRID_ORDER, load_scenario
+from repro.experiments.common import ExperimentResult
+from repro.interlink.progressive import (
+    OverlapRatioScheduler,
+    ProgressiveInterlinker,
+    SmallestFirstScheduler,
+    StaticScheduler,
+)
+
+SCHEDULERS = (StaticScheduler, OverlapRatioScheduler, SmallestFirstScheduler)
+
+
+def run_progressive(
+    scale: float = 1.0,
+    grid_order: int = DEFAULT_GRID_ORDER,
+    scenario: str = "OLE-OPE",
+) -> ExperimentResult:
+    """Links found per scheduler at 25%/50%/100% pair budgets (P+C),
+    plus wall-clock for the full run under ST2 vs P+C."""
+    data = load_scenario(scenario, scale, grid_order)
+    result = ExperimentResult(
+        experiment_id="Progressive",
+        title=f"progressive interlinking ({scenario}): links found per budget",
+        columns=("Scheduler", "Links @25%", "Links @50%", "Links @100%"),
+    )
+
+    interlinker = ProgressiveInterlinker(data.r_objects, data.s_objects, data.pairs)
+    total = len(data.pairs)
+    for scheduler_cls in SCHEDULERS:
+        scheduler = scheduler_cls()
+        found = []
+        for fraction in (0.25, 0.5, 1.0):
+            report = interlinker.run(scheduler, budget=round(total * fraction))
+            found.append(report.num_links)
+        result.add_row(scheduler.name, *found)
+
+    for method in ("ST2", "P+C"):
+        engine = ProgressiveInterlinker(
+            data.r_objects, data.s_objects, data.pairs, method=method
+        )
+        start = time.perf_counter()
+        report = engine.run(OverlapRatioScheduler())
+        elapsed = time.perf_counter() - start
+        result.notes.append(
+            f"full run with {method}: {report.num_links} links in {elapsed:.2f}s "
+            f"({total / elapsed:,.0f} pairs/s)"
+        )
+    result.notes.append(
+        "expected shape: P+C runs the same schedule several times faster than ST2 "
+        "(orthogonality of [25]); scheduling gains depend on the link density — "
+        "on link-dense synthetic scenarios the schedulers differ only mildly, on "
+        "link-sparse ones (raise the near-miss share) overlap-ratio front-loads"
+    )
+    return result
+
+
+__all__ = ["run_progressive"]

@@ -1,0 +1,45 @@
+"""The paper's filter stack.
+
+- :mod:`repro.filters.mbr` — the *enhanced MBR filter* of Sec. 3.1:
+  classifies how two MBRs intersect and derives the candidate-relation
+  set of Fig. 4.
+- :mod:`repro.filters.intermediate` — the *intermediate filters* of
+  Sec. 3.2 / Fig. 5 (IFEquals, IFInside, IFContains, IFIntersects):
+  merge-join sequences over APRIL P/C lists that either prove the most
+  specific topological relation or narrow the refinement candidates.
+- :mod:`repro.filters.relate_filters` — the predicate-specific
+  ``relate_p`` filters of Sec. 3.3 / Fig. 6.
+"""
+
+from repro.filters.intermediate import (
+    IFResult,
+    if_contains,
+    if_equals,
+    if_equals_disconnected,
+    if_inside,
+    if_intersects,
+    intermediate_filter,
+)
+from repro.filters.mbr import (
+    MBR_CANDIDATES,
+    MBRRelationship,
+    classify_mbr_pair,
+    mbr_candidates,
+)
+from repro.filters.relate_filters import RelateVerdict, relate_filter
+
+__all__ = [
+    "IFResult",
+    "MBRRelationship",
+    "MBR_CANDIDATES",
+    "RelateVerdict",
+    "classify_mbr_pair",
+    "if_contains",
+    "if_equals",
+    "if_equals_disconnected",
+    "if_inside",
+    "if_intersects",
+    "intermediate_filter",
+    "mbr_candidates",
+    "relate_filter",
+]

@@ -1,0 +1,102 @@
+"""The enhanced MBR filter (paper Sec. 3.1, Fig. 4).
+
+Given the MBRs of two shapes ``r`` and ``s``, the way the MBRs intersect
+constrains the possible topological relations between the shapes:
+
+- **DISJOINT** MBRs — the shapes are definitely disjoint.
+- **EQUAL** MBRs (Fig. 4c) — candidates {equals, covered by, covers,
+  meets, intersects}. *disjoint is impossible*: two connected shapes
+  each touching all four sides of the same rectangle must intersect
+  (one spans it horizontally, the other vertically).
+- **R_INSIDE_S** (Fig. 4a) — candidates {disjoint, inside, covered by,
+  meets, intersects}; r cannot equal, contain or cover s.
+- **R_CONTAINS_S** (Fig. 4b) — the mirror case.
+- **CROSS** (Fig. 4d) — plus-sign arrangement; the shapes definitely
+  intersect (the spanning argument again) and no more specific relation
+  is possible, so neither intermediate filter nor refinement is needed.
+- **OVERLAP** (Fig. 4e) — every other intersection; candidates
+  {disjoint, meets, intersects} (containment of either shape would force
+  MBR containment).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geometry.box import Box
+from repro.topology.de9im import TopologicalRelation as T
+
+
+class MBRRelationship(enum.Enum):
+    """How two MBRs intersect (Fig. 4 cases)."""
+
+    DISJOINT = "disjoint"
+    EQUAL = "equal"
+    R_INSIDE_S = "r inside s"
+    R_CONTAINS_S = "r contains s"
+    CROSS = "cross"
+    OVERLAP = "overlap"
+
+
+def classify_mbr_pair(r: Box, s: Box) -> MBRRelationship:
+    """Classify the MBR pair into one of the Fig. 4 cases.
+
+    Containment is non-strict (an MBR touching its container's border
+    still belongs to the INSIDE/CONTAINS case); equality is checked
+    first so the EQUAL case is unambiguous.
+    """
+    if r.disjoint(s):
+        return MBRRelationship.DISJOINT
+    if r == s:
+        return MBRRelationship.EQUAL
+    if s.contains_box(r):
+        return MBRRelationship.R_INSIDE_S
+    if r.contains_box(s):
+        return MBRRelationship.R_CONTAINS_S
+    if r.crosses(s):
+        return MBRRelationship.CROSS
+    return MBRRelationship.OVERLAP
+
+
+#: Candidate topological relations per MBR case (Fig. 4). For CROSS the
+#: single candidate is also definite.
+MBR_CANDIDATES: dict[MBRRelationship, tuple[T, ...]] = {
+    MBRRelationship.DISJOINT: (T.DISJOINT,),
+    MBRRelationship.EQUAL: (T.EQUALS, T.COVERED_BY, T.COVERS, T.MEETS, T.INTERSECTS),
+    MBRRelationship.R_INSIDE_S: (T.DISJOINT, T.INSIDE, T.COVERED_BY, T.MEETS, T.INTERSECTS),
+    MBRRelationship.R_CONTAINS_S: (T.DISJOINT, T.CONTAINS, T.COVERS, T.MEETS, T.INTERSECTS),
+    MBRRelationship.CROSS: (T.INTERSECTS,),
+    MBRRelationship.OVERLAP: (T.DISJOINT, T.MEETS, T.INTERSECTS),
+}
+
+
+def mbr_candidates(r: Box, s: Box) -> tuple[T, ...]:
+    """The candidate relations of a pair, from its MBRs alone."""
+    return MBR_CANDIDATES[classify_mbr_pair(r, s)]
+
+
+def mbr_candidates_for(case: MBRRelationship, connected: bool = True) -> tuple[T, ...]:
+    """Candidate relations for an MBR case, honouring connectivity.
+
+    The EQUAL and CROSS exclusions of Fig. 4 rest on a spanning
+    argument that holds only for connected shapes; for multipolygon
+    inputs those cases keep *disjoint* (and *meets*, for CROSS) among
+    the candidates. All other cases are connectivity-free.
+    """
+    candidates = MBR_CANDIDATES[case]
+    if connected:
+        return candidates
+    if case is MBRRelationship.EQUAL:
+        return candidates + (T.DISJOINT,)
+    if case is MBRRelationship.CROSS:
+        return (T.DISJOINT, T.MEETS, T.INTERSECTS)
+    return candidates
+
+
+__all__ = [
+    "MBRRelationship",
+    "MBR_CANDIDATES",
+    "classify_mbr_pair",
+    "mbr_candidates",
+    "mbr_candidates_for",
+]

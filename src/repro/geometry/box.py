@@ -1,0 +1,172 @@
+"""Axis-aligned bounding boxes (MBRs).
+
+The MBR is the workhorse of the filter step: the paper's Fig. 4 derives
+candidate topological relations purely from how two MBRs intersect. The
+relationship classifier itself lives in :mod:`repro.filters.mbr`; this
+module provides the geometric box type and its primitive predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    Degenerate boxes (zero width and/or height) are allowed; they arise as
+    MBRs of horizontal/vertical degenerate rings and as cell extents.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"invalid box: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(points: Iterable[tuple[float, float]]) -> "Box":
+        """Smallest box enclosing ``points`` (must be non-empty)."""
+        it = iter(points)
+        try:
+            x0, y0 = next(it)
+        except StopIteration:
+            raise ValueError("Box.from_points: empty point sequence") from None
+        xmin = xmax = x0
+        ymin = ymax = y0
+        for x, y in it:
+            if x < xmin:
+                xmin = x
+            elif x > xmax:
+                xmax = x
+            if y < ymin:
+                ymin = y
+            elif y > ymax:
+                ymax = y
+        return Box(xmin, ymin, xmax, ymax)
+
+    @staticmethod
+    def union_all(boxes: Iterable["Box"]) -> "Box":
+        """Smallest box enclosing every box in ``boxes`` (non-empty)."""
+        it = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("Box.union_all: empty box sequence") from None
+        xmin, ymin, xmax, ymax = first.xmin, first.ymin, first.xmax, first.ymax
+        for b in it:
+            xmin = min(xmin, b.xmin)
+            ymin = min(ymin, b.ymin)
+            xmax = max(xmax, b.xmax)
+            ymax = max(ymax, b.ymax)
+        return Box(xmin, ymin, xmax, ymax)
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Box") -> bool:
+        """True iff the closed boxes share at least one point."""
+        return (
+            self.xmin <= other.xmax
+            and other.xmin <= self.xmax
+            and self.ymin <= other.ymax
+            and other.ymin <= self.ymax
+        )
+
+    def disjoint(self, other: "Box") -> bool:
+        return not self.intersects(other)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True iff ``(x, y)`` lies in the closed box."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_box(self, other: "Box") -> bool:
+        """True iff ``other`` lies entirely in the closed box (not strict)."""
+        return (
+            self.xmin <= other.xmin
+            and other.xmax <= self.xmax
+            and self.ymin <= other.ymin
+            and other.ymax <= self.ymax
+        )
+
+    def strictly_contains_box(self, other: "Box") -> bool:
+        """True iff ``other`` lies in this box's interior on every side."""
+        return (
+            self.xmin < other.xmin
+            and other.xmax < self.xmax
+            and self.ymin < other.ymin
+            and other.ymax < self.ymax
+        )
+
+    def crosses(self, other: "Box") -> bool:
+        """True for the Fig. 4(d) plus-sign arrangement.
+
+        ``self`` and ``other`` *cross* when one box's x-range is strictly
+        inside the other's while its y-range strictly contains the
+        other's. Two connected shapes with crossing MBRs necessarily
+        intersect (one spans the shared strip vertically, the other
+        horizontally), so the filter can report *intersects* immediately.
+        """
+        x_inside = other.xmin < self.xmin and self.xmax < other.xmax
+        y_contains = self.ymin < other.ymin and other.ymax < self.ymax
+        if x_inside and y_contains:
+            return True
+        x_contains = self.xmin < other.xmin and other.xmax < self.xmax
+        y_inside = other.ymin < self.ymin and self.ymax < other.ymax
+        return x_contains and y_inside
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Box") -> "Box | None":
+        """The shared region, or ``None`` when the boxes are disjoint."""
+        xmin = max(self.xmin, other.xmin)
+        ymin = max(self.ymin, other.ymin)
+        xmax = min(self.xmax, other.xmax)
+        ymax = min(self.ymax, other.ymax)
+        if xmin > xmax or ymin > ymax:
+            return None
+        return Box(xmin, ymin, xmax, ymax)
+
+    def expanded(self, margin: float) -> "Box":
+        """A copy grown by ``margin`` on every side (negative shrinks)."""
+        return Box(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)
+
+    def translated(self, dx: float, dy: float) -> "Box":
+        return Box(self.xmin + dx, self.ymin + dy, self.xmax + dx, self.ymax + dy)
+
+    def corners(self) -> Iterator[tuple[float, float]]:
+        """The four corners, counter-clockwise from ``(xmin, ymin)``."""
+        yield (self.xmin, self.ymin)
+        yield (self.xmax, self.ymin)
+        yield (self.xmax, self.ymax)
+        yield (self.xmin, self.ymax)

@@ -1,0 +1,142 @@
+"""LineString geometry (open or closed polylines).
+
+DE-9IM is defined over points, lines and areas; the paper's pipeline
+is areal, but its applications (interlinking road networks with
+administrative areas, image-object arrangements) also relate lines and
+points to polygons. :class:`LineString` supplies the 1-D geometry for
+the mixed-dimension relate engine (:mod:`repro.topology.mixed`).
+
+Topology of a linestring (OGC Mod-2 rule, simplified to non-self-
+intersecting lines): the *boundary* is its two endpoints — empty when
+the line is closed (a ring-like line) — and the *interior* is the rest
+of the curve.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.ring import Coord
+from repro.geometry.segment import (
+    SegmentIntersectionKind,
+    point_on_segment,
+    segment_intersection,
+)
+
+
+class LineString:
+    """A polyline of at least two distinct vertices."""
+
+    __slots__ = ("coords", "__dict__")
+
+    def __init__(self, coords: Sequence[Coord]) -> None:
+        pts = [(float(x), float(y)) for x, y in coords]
+        deduped: list[Coord] = []
+        for p in pts:
+            if not deduped or p != deduped[-1]:
+                deduped.append(p)
+        if len(deduped) < 2:
+            raise ValueError("a linestring needs at least 2 distinct vertices")
+        self.coords: list[Coord] = deduped
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def is_closed(self) -> bool:
+        return self.coords[0] == self.coords[-1]
+
+    @property
+    def endpoints(self) -> tuple[Coord, ...]:
+        """The boundary: both endpoints, or empty for a closed line."""
+        if self.is_closed:
+            return ()
+        return (self.coords[0], self.coords[-1])
+
+    def edges(self) -> Iterator[tuple[Coord, Coord]]:
+        for a, b in zip(self.coords, self.coords[1:]):
+            yield a, b
+
+    @cached_property
+    def bbox(self) -> Box:
+        return Box.from_points(self.coords)
+
+    @cached_property
+    def length(self) -> float:
+        total = 0.0
+        for (ax, ay), (bx, by) in self.edges():
+            total += ((bx - ax) ** 2 + (by - ay) ** 2) ** 0.5
+        return total
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.coords)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def covers_point(self, point: Coord) -> bool:
+        """True iff ``point`` lies on the (closed) curve."""
+        if not self.bbox.contains_point(point[0], point[1]):
+            return False
+        return any(point_on_segment(point, a, b) for a, b in self.edges())
+
+    def point_on_interior(self, point: Coord) -> bool:
+        """True iff ``point`` lies on the curve but is not a boundary
+        endpoint."""
+        if not self.covers_point(point):
+            return False
+        return point not in self.endpoints
+
+    def is_simple(self) -> bool:
+        """No self-intersections except consecutive-segment joints (and
+        the closing joint of a closed line)."""
+        edges = list(self.edges())
+        n = len(edges)
+        for i in range(n):
+            a1, a2 = edges[i]
+            for j in range(i + 1, n):
+                b1, b2 = edges[j]
+                inter = segment_intersection(a1, a2, b1, b2)
+                if inter.kind is SegmentIntersectionKind.NONE:
+                    continue
+                if inter.kind is SegmentIntersectionKind.OVERLAP:
+                    return False
+                adjacent = j == i + 1
+                closing = self.is_closed and i == 0 and j == n - 1
+                if adjacent and inter.points[0] == a2:
+                    continue
+                if closing and inter.points[0] == a1:
+                    continue
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineString):
+            return NotImplemented
+        return self.coords == other.coords or self.coords == other.coords[::-1]
+
+    def __hash__(self) -> int:
+        forward = tuple(self.coords)
+        backward = tuple(reversed(self.coords))
+        return hash(min(forward, backward))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LineString({len(self.coords)} vertices)"
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def translated(self, dx: float, dy: float) -> "LineString":
+        return LineString([(x + dx, y + dy) for x, y in self.coords])
+
+    def reversed(self) -> "LineString":
+        return LineString(list(reversed(self.coords)))
+
+
+__all__ = ["LineString"]

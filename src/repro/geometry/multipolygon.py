@@ -1,0 +1,153 @@
+"""MultiPolygons: collections of disjoint-interior polygons.
+
+TIGER/OSM entities are frequently multipolygons (island groups,
+multi-parcel parks). A :class:`MultiPolygon` implements the same
+geometric protocol the topology engine consumes — ``edges()``,
+``rings()``, ``bbox``, ``locate()``, ``representative_points()`` — so
+rasterisation and DE-9IM work unchanged.
+
+What does *not* carry over is connectivity: several of the paper's
+MBR-level shortcuts (the Fig. 4(d) CROSS ⇒ intersects rule, and
+"equal MBRs exclude disjoint") are valid only for connected shapes.
+Geometries therefore expose :attr:`is_connected`, and the filters take
+connectivity-safe branches for multi-part inputs (see
+:mod:`repro.filters.intermediate`).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import Location
+from repro.geometry.ring import Coord, Ring
+
+
+class MultiPolygon:
+    """One or more polygons with pairwise disjoint interiors."""
+
+    __slots__ = ("parts", "__dict__")
+
+    def __init__(self, parts: Sequence[Polygon]) -> None:
+        if not parts:
+            raise ValueError("a MultiPolygon needs at least one part")
+        self.parts: tuple[Polygon, ...] = tuple(parts)
+
+    # ------------------------------------------------------------------
+    # protocol shared with Polygon
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        return len(self.parts) == 1
+
+    def rings(self) -> Iterator[Ring]:
+        for part in self.parts:
+            yield from part.rings()
+
+    def edges(self) -> Iterator[tuple[Coord, Coord]]:
+        for part in self.parts:
+            yield from part.edges()
+
+    @cached_property
+    def bbox(self) -> Box:
+        return Box.union_all([p.bbox for p in self.parts])
+
+    @cached_property
+    def num_vertices(self) -> int:
+        return sum(p.num_vertices for p in self.parts)
+
+    @cached_property
+    def area(self) -> float:
+        return sum(p.area for p in self.parts)
+
+    @property
+    def perimeter(self) -> float:
+        return sum(p.perimeter for p in self.parts)
+
+    def locate(self, point: Coord) -> Location:
+        """INTERIOR / BOUNDARY / EXTERIOR against the union region.
+
+        Valid multipolygon parts have disjoint interiors and may touch
+        only at finitely many boundary points, so a point interior to
+        any part is interior to the union, and boundary wins over
+        exterior.
+        """
+        on_boundary = False
+        for part in self.parts:
+            where = part.locate(point)
+            if where is Location.INTERIOR:
+                return Location.INTERIOR
+            if where is Location.BOUNDARY:
+                on_boundary = True
+        return Location.BOUNDARY if on_boundary else Location.EXTERIOR
+
+    def contains_point(self, point: Coord) -> bool:
+        return self.locate(point) is not Location.EXTERIOR
+
+    @property
+    def representative_point(self) -> Coord:
+        """An interior point (of the first part)."""
+        return self.parts[0].representative_point
+
+    def representative_points(self) -> Iterator[Coord]:
+        """One interior point per part.
+
+        The DE-9IM engine needs a witness in *every* interior component
+        for its fall-back tests — a single representative point is only
+        sufficient for connected interiors.
+        """
+        for part in self.parts:
+            yield part.representative_point
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MultiPolygon) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultiPolygon({len(self.parts)} parts, {self.num_vertices} vertices)"
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self) -> Iterator[Polygon]:
+        return iter(self.parts)
+
+    def is_valid(self) -> bool:
+        """Parts individually valid, interiors pairwise disjoint
+        (vertex/representative-point sampling diagnostic)."""
+        for part in self.parts:
+            if not part.is_valid():
+                return False
+        for i, a in enumerate(self.parts):
+            for b in self.parts[i + 1 :]:
+                if not a.bbox.intersects(b.bbox):
+                    continue
+                if b.locate(a.representative_point) is Location.INTERIOR:
+                    return False
+                if a.locate(b.representative_point) is Location.INTERIOR:
+                    return False
+                for p in a.shell.coords:
+                    if b.locate(p) is Location.INTERIOR:
+                        return False
+                for p in b.shell.coords:
+                    if a.locate(p) is Location.INTERIOR:
+                        return False
+        return True
+
+    def translated(self, dx: float, dy: float) -> "MultiPolygon":
+        return MultiPolygon([p.translated(dx, dy) for p in self.parts])
+
+    def scaled(self, factor: float, origin: Coord | None = None) -> "MultiPolygon":
+        if origin is None:
+            origin = self.bbox.center
+        return MultiPolygon([p.scaled(factor, origin) for p in self.parts])
+
+
+__all__ = ["MultiPolygon"]

@@ -1,0 +1,34 @@
+"""2-D point type.
+
+Throughout the library coordinates are plain ``(x, y)`` tuples for speed;
+:class:`Point` is a ``NamedTuple`` so it *is* such a tuple while giving a
+readable API (``p.x``, ``p.y``) at zero conversion cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """An immutable 2-D point. Interchangeable with an ``(x, y)`` tuple."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other[0], self.y - other[1])
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float, origin: "Point | tuple[float, float]" = (0.0, 0.0)) -> "Point":
+        """Return a copy scaled by ``factor`` about ``origin``."""
+        ox, oy = origin
+        return Point(ox + (self.x - ox) * factor, oy + (self.y - oy) * factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x:g}, {self.y:g})"

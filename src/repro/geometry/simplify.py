@@ -1,0 +1,116 @@
+"""Polygon simplification (Douglas-Peucker).
+
+A foil for the paper's approach: the *other* way to tame refinement
+cost on complex polygons is to simplify them — which changes answers.
+The ablation experiment (``ablation-simplify``) quantifies how lossy
+that is compared to the exact APRIL intermediate filter. Also generally
+useful for rendering and for generating lower-detail dataset variants.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.multipolygon import MultiPolygon
+from repro.geometry.polygon import Polygon
+from repro.geometry.ring import Coord, Ring
+
+
+def _perpendicular_distance_sq(p: Coord, a: Coord, b: Coord) -> float:
+    dx = b[0] - a[0]
+    dy = b[1] - a[1]
+    norm = dx * dx + dy * dy
+    if norm == 0.0:
+        ex = p[0] - a[0]
+        ey = p[1] - a[1]
+        return ex * ex + ey * ey
+    cross = dx * (p[1] - a[1]) - dy * (p[0] - a[0])
+    return cross * cross / norm
+
+
+def simplify_chain(coords: list[Coord], tolerance: float) -> list[Coord]:
+    """Douglas-Peucker on an open chain; endpoints are always kept."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if len(coords) <= 2:
+        return list(coords)
+    tol_sq = tolerance * tolerance
+
+    keep = [False] * len(coords)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(coords) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        a = coords[lo]
+        b = coords[hi]
+        best = -1.0
+        best_k = -1
+        for k in range(lo + 1, hi):
+            d = _perpendicular_distance_sq(coords[k], a, b)
+            if d > best:
+                best = d
+                best_k = k
+        if best > tol_sq:
+            keep[best_k] = True
+            stack.append((lo, best_k))
+            stack.append((best_k, hi))
+    return [c for c, k in zip(coords, keep) if k]
+
+
+def simplify_ring(ring: Ring, tolerance: float) -> Ring | None:
+    """Simplify a ring; returns None if it collapses below 3 vertices.
+
+    The ring is treated as a closed chain anchored at its two most
+    distant vertices, so the anchor choice does not bias one side.
+    """
+    coords = list(ring.coords)
+    if len(coords) <= 4:
+        return ring
+    # Anchor at the vertex pair realising the bbox diagonal extremes.
+    lo_idx = min(range(len(coords)), key=lambda k: (coords[k][0], coords[k][1]))
+    rotated = coords[lo_idx:] + coords[:lo_idx]
+    hi_idx = max(
+        range(len(rotated)),
+        key=lambda k: (rotated[k][0] - rotated[0][0]) ** 2 + (rotated[k][1] - rotated[0][1]) ** 2,
+    )
+    if hi_idx == 0:
+        return ring
+    first = simplify_chain(rotated[: hi_idx + 1], tolerance)
+    second = simplify_chain(rotated[hi_idx:] + [rotated[0]], tolerance)
+    merged = first[:-1] + second[:-1]
+    if len(merged) < 3:
+        return None
+    try:
+        simplified = Ring(merged)
+    except ValueError:
+        return None
+    if simplified.area == 0.0 or not simplified.is_simple():
+        return None  # simplification degenerated; caller keeps original
+    return simplified
+
+
+def simplify_polygon(polygon: Polygon, tolerance: float) -> Polygon:
+    """Simplify shell and holes; holes that collapse are dropped.
+
+    If the shell's simplification degenerates the original polygon is
+    returned unchanged (simplification is best-effort, never fatal).
+    """
+    shell = simplify_ring(polygon.shell, tolerance)
+    if shell is None:
+        return polygon
+    holes = []
+    for hole in polygon.holes:
+        simplified = simplify_ring(hole, tolerance)
+        if simplified is not None:
+            holes.append(simplified)
+    return Polygon(shell, holes)
+
+
+def simplify_geometry(geometry, tolerance: float):
+    """Simplify a Polygon or MultiPolygon."""
+    if isinstance(geometry, MultiPolygon):
+        return MultiPolygon([simplify_polygon(p, tolerance) for p in geometry.parts])
+    return simplify_polygon(geometry, tolerance)
+
+
+__all__ = ["simplify_chain", "simplify_geometry", "simplify_polygon", "simplify_ring"]

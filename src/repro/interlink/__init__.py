@@ -1,0 +1,34 @@
+"""Geo-spatial interlinking on top of the topology-join pipeline.
+
+The paper's introduction and future work frame the method as an engine
+for link discovery (RADON [31], progressive interlinking [25], Silk
+[2]). This package provides that application layer:
+
+- :mod:`repro.interlink.links` — typed links with the GeoSPARQL
+  simple-features vocabulary and N-Triples export;
+- :mod:`repro.interlink.progressive` — budgeted, scheduler-driven link
+  discovery in the spirit of [25]: process the most promising candidate
+  pairs first so most links appear early, composing with (rather than
+  replacing) the paper's intermediate filters.
+"""
+
+from repro.interlink.links import GEO_PREDICATES, Link, links_to_ntriples, relation_to_geosparql
+from repro.interlink.progressive import (
+    InterlinkReport,
+    OverlapRatioScheduler,
+    ProgressiveInterlinker,
+    SmallestFirstScheduler,
+    StaticScheduler,
+)
+
+__all__ = [
+    "GEO_PREDICATES",
+    "InterlinkReport",
+    "Link",
+    "OverlapRatioScheduler",
+    "ProgressiveInterlinker",
+    "SmallestFirstScheduler",
+    "StaticScheduler",
+    "links_to_ntriples",
+    "relation_to_geosparql",
+]

@@ -1,0 +1,61 @@
+"""Typed topological links and GeoSPARQL export.
+
+Interlinking enriches knowledge graphs with triples like
+``<r> geo:sfWithin <s>``. This module maps the paper's eight
+topological relations onto the GeoSPARQL *simple features* relation
+family and serialises discovered links as N-Triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.topology.de9im import TopologicalRelation as T
+
+#: GeoSPARQL simple-features predicate per topological relation.
+#: ``inside``/``covered by`` both map to ``sfWithin`` (simple features
+#: does not distinguish touch-free containment); likewise for
+#: ``contains``/``covers`` → ``sfContains``. The generic ``intersects``
+#: of areal pairs with interior overlap is ``sfOverlaps``.
+GEO_PREDICATES: dict[T, str] = {
+    T.EQUALS: "sfEquals",
+    T.INSIDE: "sfWithin",
+    T.COVERED_BY: "sfWithin",
+    T.CONTAINS: "sfContains",
+    T.COVERS: "sfContains",
+    T.MEETS: "sfTouches",
+    T.INTERSECTS: "sfOverlaps",
+    T.DISJOINT: "sfDisjoint",
+}
+
+GEO_NAMESPACE = "http://www.opengis.net/ont/geosparql#"
+
+
+def relation_to_geosparql(relation: T) -> str:
+    """Full IRI of the GeoSPARQL predicate for ``relation``."""
+    return GEO_NAMESPACE + GEO_PREDICATES[relation]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One discovered link between two dataset entities."""
+
+    subject: str
+    relation: T
+    object: str
+
+    @property
+    def predicate_iri(self) -> str:
+        return relation_to_geosparql(self.relation)
+
+    def to_ntriple(self) -> str:
+        return f"<{self.subject}> <{self.predicate_iri}> <{self.object}> ."
+
+
+def links_to_ntriples(links: Iterable[Link]) -> str:
+    """Serialise links as an N-Triples document (one triple per line)."""
+    return "\n".join(link.to_ntriple() for link in links) + "\n"
+
+
+__all__ = ["GEO_PREDICATES", "GEO_NAMESPACE", "Link", "links_to_ntriples", "relation_to_geosparql"]

@@ -1,0 +1,184 @@
+"""Progressive interlinking: budgeted link discovery with scheduling.
+
+Papadakis et al. [25] observed that when there is not enough time to
+verify every candidate pair, the pairs should be examined in an order
+that maximises the chance of finding non-disjoint relations early. The
+paper under reproduction notes this idea is *orthogonal* to its
+intermediate filter — this module demonstrates exactly that: any
+scheduler can be combined with any find-relation pipeline, and the
+filters simply make each examined pair cheaper.
+
+Schedulers rank candidate pairs by a cheap MBR-only heuristic:
+
+- :class:`StaticScheduler` — input order (the baseline);
+- :class:`OverlapRatioScheduler` — pairs whose MBR intersection covers
+  a large fraction of the smaller MBR first (high overlap ⇒ likely a
+  containment or overlap link);
+- :class:`SmallestFirstScheduler` — cheapest-looking pairs first
+  (small combined MBR perimeter as a proxy for few vertices), which
+  maximises *pairs processed* per budget rather than links per pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.interlink.links import Link
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import PIPELINES, Pipeline
+from repro.topology.de9im import TopologicalRelation as T
+
+
+class Scheduler(Protocol):
+    """Orders candidate pairs for budgeted processing."""
+
+    name: str
+
+    def order(
+        self,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[tuple[int, int]]: ...
+
+
+class StaticScheduler:
+    """Process pairs in their input order."""
+
+    name = "static"
+
+    def order(self, r_objects, s_objects, pairs):
+        return list(pairs)
+
+
+class OverlapRatioScheduler:
+    """Most-overlapping MBRs first (likelier non-disjoint links)."""
+
+    name = "overlap-ratio"
+
+    def order(self, r_objects, s_objects, pairs):
+        def score(pair: tuple[int, int]) -> float:
+            r_box = r_objects[pair[0]].box
+            s_box = s_objects[pair[1]].box
+            inter = r_box.intersection(s_box)
+            if inter is None:
+                return 0.0
+            smaller = min(r_box.area, s_box.area)
+            if smaller == 0.0:
+                return 1.0
+            return inter.area / smaller
+
+        return sorted(pairs, key=score, reverse=True)
+
+
+class SmallestFirstScheduler:
+    """Cheapest-looking pairs first (small MBR perimeter proxy)."""
+
+    name = "smallest-first"
+
+    def order(self, r_objects, s_objects, pairs):
+        def cost(pair: tuple[int, int]) -> float:
+            r_box = r_objects[pair[0]].box
+            s_box = s_objects[pair[1]].box
+            return r_box.width + r_box.height + s_box.width + s_box.height
+
+        return sorted(pairs, key=cost)
+
+
+@dataclass
+class InterlinkReport:
+    """Outcome of one (possibly budget-limited) interlinking run."""
+
+    scheduler: str
+    method: str
+    examined_pairs: int
+    total_pairs: int
+    links: list[Link] = field(default_factory=list)
+    #: links[k] was discovered while examining pair ``discovery_index[k]``.
+    discovery_index: list[int] = field(default_factory=list)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def recall_curve(self, points: int = 20) -> list[tuple[float, float]]:
+        """(fraction of pairs examined, fraction of links found) samples.
+
+        Recall is relative to the links found by *this* run; use a
+        full-budget run as the reference for absolute recall.
+        """
+        if not self.links or self.examined_pairs == 0:
+            return [(0.0, 0.0), (1.0, 0.0)]
+        curve = []
+        for k in range(points + 1):
+            cutoff = round(k / points * self.examined_pairs)
+            found = sum(1 for idx in self.discovery_index if idx < cutoff)
+            curve.append((cutoff / self.examined_pairs, found / len(self.links)))
+        return curve
+
+
+class ProgressiveInterlinker:
+    """Budgeted link discovery over a candidate-pair stream."""
+
+    def __init__(
+        self,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+        method: str | Pipeline = "P+C",
+        subject_prefix: str = "urn:r:",
+        object_prefix: str = "urn:s:",
+    ) -> None:
+        self.r_objects = r_objects
+        self.s_objects = s_objects
+        self.pairs = list(pairs)
+        self.pipeline = PIPELINES[method] if isinstance(method, str) else method
+        self.subject_prefix = subject_prefix
+        self.object_prefix = object_prefix
+
+    def run(
+        self,
+        scheduler: Scheduler | None = None,
+        budget: int | None = None,
+        include_disjoint: bool = False,
+    ) -> InterlinkReport:
+        """Examine up to ``budget`` pairs in scheduler order.
+
+        Returns the discovered links with their discovery positions, so
+        schedulers can be compared by how early links arrive.
+        """
+        scheduler = scheduler or StaticScheduler()
+        ordered = scheduler.order(self.r_objects, self.s_objects, self.pairs)
+        if budget is not None:
+            ordered = ordered[: max(0, budget)]
+
+        report = InterlinkReport(
+            scheduler=scheduler.name,
+            method=self.pipeline.name,
+            examined_pairs=len(ordered),
+            total_pairs=len(self.pairs),
+        )
+        for position, (i, j) in enumerate(ordered):
+            outcome = self.pipeline.find_relation(self.r_objects[i], self.s_objects[j])
+            if outcome.relation is T.DISJOINT and not include_disjoint:
+                continue
+            report.links.append(
+                Link(
+                    subject=f"{self.subject_prefix}{i}",
+                    relation=outcome.relation,
+                    object=f"{self.object_prefix}{j}",
+                )
+            )
+            report.discovery_index.append(position)
+        return report
+
+
+__all__ = [
+    "InterlinkReport",
+    "OverlapRatioScheduler",
+    "ProgressiveInterlinker",
+    "Scheduler",
+    "SmallestFirstScheduler",
+    "StaticScheduler",
+]

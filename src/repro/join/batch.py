@@ -1,0 +1,143 @@
+"""Batch (vectorised) execution of the P+C pipeline.
+
+The scalar runner (:func:`repro.join.pipeline.run_find_relation`) pays
+Python dispatch per pair: box-method calls, enum comparisons, per-pair
+timing. For large candidate streams the MBR case analysis — pure
+arithmetic on eight floats — is the perfect numpy target. This module
+classifies *all* pairs at once, then drains each MBR case group through
+the matching intermediate filter, preserving exactly the scalar
+pipeline's verdicts (property-tested equivalence).
+
+This mirrors the paper's engineering reality: its C++ implementation
+amortises per-pair overhead that a naive per-object API would pay.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.filters.intermediate import intermediate_filter
+from repro.filters.mbr import MBRRelationship
+from repro.join.objects import SpatialObject, reset_access_tracking
+from repro.join.stats import JoinRunStats
+from repro.topology.de9im import TopologicalRelation as T, most_specific_relation
+from repro.topology.relate import relate
+
+#: Integer codes for MBR cases in the vectorised classifier.
+_CASE_CODES = {
+    MBRRelationship.DISJOINT: 0,
+    MBRRelationship.EQUAL: 1,
+    MBRRelationship.R_INSIDE_S: 2,
+    MBRRelationship.R_CONTAINS_S: 3,
+    MBRRelationship.CROSS: 4,
+    MBRRelationship.OVERLAP: 5,
+}
+_CODE_CASES = {code: case for case, code in _CASE_CODES.items()}
+
+
+def _box_arrays(objects: Sequence[SpatialObject]) -> np.ndarray:
+    """(N, 4) float array of xmin, ymin, xmax, ymax, cached per list id."""
+    arr = np.empty((len(objects), 4))
+    for k, o in enumerate(objects):
+        arr[k, 0] = o.box.xmin
+        arr[k, 1] = o.box.ymin
+        arr[k, 2] = o.box.xmax
+        arr[k, 3] = o.box.ymax
+    return arr
+
+
+def classify_mbr_pairs_bulk(
+    r_objects: Sequence[SpatialObject],
+    s_objects: Sequence[SpatialObject],
+    pairs: Sequence[tuple[int, int]],
+) -> np.ndarray:
+    """Vectorised :func:`repro.filters.mbr.classify_mbr_pair` over pairs.
+
+    Returns an int array of case codes (see ``_CASE_CODES``), identical
+    to classifying each pair individually.
+    """
+    if not pairs:
+        return np.empty(0, dtype=np.int8)
+    r_arr = _box_arrays(r_objects)
+    s_arr = _box_arrays(s_objects)
+    idx = np.asarray(pairs, dtype=np.int64)
+    r = r_arr[idx[:, 0]]
+    s = s_arr[idx[:, 1]]
+    rx0, ry0, rx1, ry1 = r[:, 0], r[:, 1], r[:, 2], r[:, 3]
+    sx0, sy0, sx1, sy1 = s[:, 0], s[:, 1], s[:, 2], s[:, 3]
+
+    disjoint = (rx0 > sx1) | (sx0 > rx1) | (ry0 > sy1) | (sy0 > ry1)
+    equal = (rx0 == sx0) & (ry0 == sy0) & (rx1 == sx1) & (ry1 == sy1)
+    r_in_s = (sx0 <= rx0) & (rx1 <= sx1) & (sy0 <= ry0) & (ry1 <= sy1)
+    s_in_r = (rx0 <= sx0) & (sx1 <= rx1) & (ry0 <= sy0) & (sy1 <= ry1)
+    cross = ((sx0 < rx0) & (rx1 < sx1) & (ry0 < sy0) & (sy1 < ry1)) | (
+        (rx0 < sx0) & (sx1 < rx1) & (sy0 < ry0) & (ry1 < sy1)
+    )
+
+    # Priority mirrors classify_mbr_pair: disjoint, equal, inside,
+    # contains, cross, overlap.
+    codes = np.full(len(pairs), _CASE_CODES[MBRRelationship.OVERLAP], dtype=np.int8)
+    codes[cross] = _CASE_CODES[MBRRelationship.CROSS]
+    codes[s_in_r] = _CASE_CODES[MBRRelationship.R_CONTAINS_S]
+    codes[r_in_s] = _CASE_CODES[MBRRelationship.R_INSIDE_S]
+    codes[equal] = _CASE_CODES[MBRRelationship.EQUAL]
+    codes[disjoint] = _CASE_CODES[MBRRelationship.DISJOINT]
+    return codes
+
+
+def run_find_relation_batch(
+    r_objects: Sequence[SpatialObject],
+    s_objects: Sequence[SpatialObject],
+    pairs: Sequence[tuple[int, int]],
+) -> JoinRunStats:
+    """Batch P+C runner: same verdicts as the scalar pipeline, less
+    per-pair overhead (timing is per *stage*, not per pair)."""
+    stats = JoinRunStats(method="P+C")
+    stats.r_objects_total = len(r_objects)
+    stats.s_objects_total = len(s_objects)
+    reset_access_tracking(r_objects)
+    reset_access_tracking(s_objects)
+
+    start = time.perf_counter()
+    codes = classify_mbr_pairs_bulk(r_objects, s_objects, pairs)
+
+    to_refine: list[tuple[int, int, tuple[T, ...]]] = []
+    for k, (i, j) in enumerate(pairs):
+        case = _CODE_CASES[int(codes[k])]
+        r = r_objects[i]
+        s = s_objects[j]
+        connected = r.polygon.is_connected and s.polygon.is_connected
+        if case is MBRRelationship.DISJOINT or (
+            case is MBRRelationship.CROSS and connected
+        ):
+            verdict = intermediate_filter(case, None, None)  # type: ignore[arg-type]
+            stage = "mbr"
+        else:
+            verdict = intermediate_filter(
+                case, r.require_april(), s.require_april(), connected
+            )
+            stage = "if"
+        if verdict.definite is not None:
+            stats.record(verdict.definite, stage)
+        else:
+            assert verdict.refine_candidates is not None
+            to_refine.append((i, j, verdict.refine_candidates))
+    stats.filter_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i, j, candidates in to_refine:
+        matrix = relate(
+            r_objects[i].access_geometry(), s_objects[j].access_geometry()
+        )
+        stats.record(most_specific_relation(matrix, candidates), "refinement")
+    stats.refine_seconds = time.perf_counter() - start
+
+    stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
+    stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)
+    return stats
+
+
+__all__ = ["classify_mbr_pairs_bulk", "run_find_relation_batch"]

@@ -1,0 +1,211 @@
+"""Out-of-core topology joins: PBSM-style disk partitioning.
+
+For inputs that do not fit in memory, Partition Based Spatial-Merge
+join [27] splits the dataspace into tiles, spills each input's
+geometries to per-tile partition files, and then joins one tile at a
+time — only a single tile pair is ever resident. Objects spanning
+several tiles are replicated; the *reference-point rule* (a pair is
+reported only by the tile containing the lower-left corner of its MBR
+intersection) removes duplicates without any global state.
+
+Partition files are plain WKT-per-line with an id column, so partial
+runs are inspectable with standard tools; a ``meta.json`` records the
+global extent and grid so all tiles share one Hilbert grid (APRIL
+approximations must be comparable across tiles).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.geometry.wkt import dumps_wkt, loads_wkt_geometry
+from repro.join.mbr_join import plane_sweep_mbr_join
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import PIPELINES, Stage
+from repro.join.stats import JoinRunStats
+from repro.raster.april import build_april
+from repro.raster.grid import RasterGrid
+from repro.topology.de9im import TopologicalRelation
+
+
+@dataclass(frozen=True, slots=True)
+class DiskJoinResult:
+    """One result pair with original dataset ids."""
+
+    r_id: int
+    s_id: int
+    relation: TopologicalRelation
+
+
+class DiskPartitionedJoin:
+    """A PBSM-style join whose working set is one tile pair at a time."""
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        tiles_per_dim: int = 4,
+        grid_order: int = 11,
+        method: str = "P+C",
+    ) -> None:
+        if tiles_per_dim < 1:
+            raise ValueError("tiles_per_dim must be positive")
+        if method not in PIPELINES:
+            raise KeyError(f"unknown method {method!r}")
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.tiles_per_dim = tiles_per_dim
+        self.grid_order = grid_order
+        self.method = method
+        self._extent: Box | None = None
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def partition(self, side: str, polygons: Sequence[Polygon], extent: Box) -> int:
+        """Spill ``polygons`` into per-tile files for input ``side``.
+
+        ``extent`` must be the (pre-agreed) global dataspace covering
+        both inputs — it determines tiling and the shared grid. Returns
+        the number of (object, tile) replicas written.
+        """
+        if side not in ("r", "s"):
+            raise ValueError("side must be 'r' or 's'")
+        self._write_meta(extent)
+        handles: dict[tuple[int, int], list[str]] = {}
+        replicas = 0
+        for oid, polygon in enumerate(polygons):
+            for tile in self._tiles_of_box(polygon.bbox, extent):
+                handles.setdefault(tile, []).append(
+                    f"{oid}\t{dumps_wkt(polygon, precision=17)}"
+                )
+                replicas += 1
+        for (tx, ty), lines in handles.items():
+            path = self._tile_path(side, tx, ty)
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return replicas
+
+    def _write_meta(self, extent: Box) -> None:
+        meta_path = self.workdir / "meta.json"
+        if meta_path.exists():
+            stored = json.loads(meta_path.read_text())
+            if stored["extent"] != [extent.xmin, extent.ymin, extent.xmax, extent.ymax]:
+                raise ValueError("both inputs must be partitioned with the same extent")
+            return
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "extent": [extent.xmin, extent.ymin, extent.xmax, extent.ymax],
+                    "tiles_per_dim": self.tiles_per_dim,
+                    "grid_order": self.grid_order,
+                }
+            )
+        )
+        self._extent = extent
+
+    def _load_meta(self) -> Box:
+        if self._extent is None:
+            stored = json.loads((self.workdir / "meta.json").read_text())
+            self._extent = Box(*stored["extent"])
+        return self._extent
+
+    def _tile_path(self, side: str, tx: int, ty: int) -> Path:
+        return self.workdir / f"{side}_{tx}_{ty}.part"
+
+    def _tiles_of_box(self, box: Box, extent: Box) -> Iterator[tuple[int, int]]:
+        tw = extent.width / self.tiles_per_dim
+        th = extent.height / self.tiles_per_dim
+        tx0 = self._clamp(int((box.xmin - extent.xmin) / tw))
+        tx1 = self._clamp(int((box.xmax - extent.xmin) / tw))
+        ty0 = self._clamp(int((box.ymin - extent.ymin) / th))
+        ty1 = self._clamp(int((box.ymax - extent.ymin) / th))
+        for tx in range(tx0, tx1 + 1):
+            for ty in range(ty0, ty1 + 1):
+                yield (tx, ty)
+
+    def _clamp(self, value: int) -> int:
+        return min(self.tiles_per_dim - 1, max(0, value))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, include_disjoint: bool = False) -> tuple[list[DiskJoinResult], JoinRunStats]:
+        """Join all tile pairs; returns deduplicated results and stats."""
+        extent = self._load_meta()
+        grid = RasterGrid(extent.expanded(1e-9), order=self.grid_order)
+        tw = extent.width / self.tiles_per_dim
+        th = extent.height / self.tiles_per_dim
+
+        total_stats = JoinRunStats(method=self.method)
+        results: list[DiskJoinResult] = []
+        pipeline = PIPELINES[self.method]
+
+        for tx in range(self.tiles_per_dim):
+            for ty in range(self.tiles_per_dim):
+                r_path = self._tile_path("r", tx, ty)
+                s_path = self._tile_path("s", tx, ty)
+                if not (r_path.exists() and s_path.exists()):
+                    continue
+                r_objects = self._load_tile(r_path, grid)
+                s_objects = self._load_tile(s_path, grid)
+                pairs = plane_sweep_mbr_join(
+                    [o.box for o in r_objects], [o.box for o in s_objects]
+                )
+                # Reference-point deduplication.
+                tile_xmin = extent.xmin + tx * tw
+                tile_ymin = extent.ymin + ty * th
+                owned = []
+                for i, j in pairs:
+                    ref_x = max(r_objects[i].box.xmin, s_objects[j].box.xmin)
+                    ref_y = max(r_objects[i].box.ymin, s_objects[j].box.ymin)
+                    own_x = self._clamp(int((ref_x - extent.xmin) / tw))
+                    own_y = self._clamp(int((ref_y - extent.ymin) / th))
+                    if (own_x, own_y) == (tx, ty):
+                        owned.append((i, j))
+
+                tile_stats = JoinRunStats(method=self.method)
+                clock = time.perf_counter
+                for i, j in owned:
+                    t0 = clock()
+                    outcome = pipeline.find_relation(r_objects[i], s_objects[j])
+                    elapsed = clock() - t0
+                    if outcome.stage is Stage.REFINEMENT:
+                        tile_stats.refine_seconds += elapsed
+                    else:
+                        tile_stats.filter_seconds += elapsed
+                    tile_stats.record(outcome.relation, outcome.stage.value)
+                    if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
+                        continue
+                    results.append(
+                        DiskJoinResult(r_objects[i].oid, s_objects[j].oid, outcome.relation)
+                    )
+                total_stats = total_stats.merge(tile_stats)
+        results.sort(key=lambda link: (link.r_id, link.s_id))
+        return results, total_stats
+
+    def _load_tile(self, path: Path, grid: RasterGrid) -> list[SpatialObject]:
+        objects = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                oid_text, wkt = line.split("\t", 1)
+                geometry = loads_wkt_geometry(wkt)
+                objects.append(
+                    SpatialObject(
+                        oid=int(oid_text),
+                        polygon=geometry,
+                        box=geometry.bbox,
+                        april=build_april(geometry, grid),
+                    )
+                )
+        return objects
+
+
+__all__ = ["DiskJoinResult", "DiskPartitionedJoin"]

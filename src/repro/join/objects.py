@@ -1,0 +1,65 @@
+"""Spatial objects: a polygon plus its precomputed approximations.
+
+The pipelines never want bare polygons — the whole point of the paper
+is that most pairs are resolved from the MBR and the APRIL lists alone,
+without touching exact geometry. :class:`SpatialObject` bundles the
+three representations and lets the statistics layer track when the
+exact geometry is actually accessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.raster.april import AprilApproximation, build_april
+from repro.raster.grid import RasterGrid
+
+
+@dataclass
+class SpatialObject:
+    """One dataset entity: id, exact geometry, MBR, APRIL approximation."""
+
+    oid: int
+    polygon: Polygon
+    box: Box
+    april: AprilApproximation | None = None
+    #: Set to True by pipelines whenever the exact geometry is read.
+    geometry_accessed: bool = field(default=False, compare=False)
+
+    @staticmethod
+    def from_polygon(oid: int, polygon: Polygon, grid: RasterGrid | None = None) -> "SpatialObject":
+        april = build_april(polygon, grid) if grid is not None else None
+        return SpatialObject(oid=oid, polygon=polygon, box=polygon.bbox, april=april)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.polygon.num_vertices
+
+    def require_april(self) -> AprilApproximation:
+        if self.april is None:
+            raise ValueError(f"object {self.oid} has no APRIL approximation")
+        return self.april
+
+    def access_geometry(self) -> Polygon:
+        """Read the exact geometry, recording the access for statistics."""
+        self.geometry_accessed = True
+        return self.polygon
+
+
+def make_objects(
+    polygons: Iterable[Polygon],
+    grid: RasterGrid | None = None,
+) -> list[SpatialObject]:
+    """Wrap a polygon dataset into spatial objects (preprocessing step)."""
+    return [SpatialObject.from_polygon(i, p, grid) for i, p in enumerate(polygons)]
+
+
+def reset_access_tracking(objects: Sequence[SpatialObject]) -> None:
+    for obj in objects:
+        obj.geometry_accessed = False
+
+
+__all__ = ["SpatialObject", "make_objects", "reset_access_tracking"]

@@ -1,0 +1,107 @@
+"""Run statistics for topology-join pipelines.
+
+Captures exactly the quantities the paper reports: throughput of
+MBR-filtered pairs (Fig. 7a), the share of *undetermined* pairs that
+reach DE-9IM refinement (Fig. 7b, Fig. 8a), per-stage time (Fig. 8b's
+IF vs REF split), and the fraction of distinct objects whose exact
+geometry had to be accessed (Sec. 4.3's data-access discussion).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.topology.de9im import TopologicalRelation
+
+
+@dataclass
+class JoinRunStats:
+    """Counters and timings of one pipeline run over a pair stream."""
+
+    method: str
+    pairs: int = 0
+    #: Resolved by MBR geometry alone (cross-MBRs; input pairs already
+    #: passed the intersection filter, so MBR-disjoint never occurs).
+    resolved_mbr: int = 0
+    #: Resolved by the intermediate filter without refinement.
+    resolved_if: int = 0
+    #: Undetermined pairs: forwarded to DE-9IM refinement.
+    refined: int = 0
+    relation_counts: Counter = field(default_factory=Counter)
+    filter_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    #: Distinct objects whose exact geometry was read, per side.
+    r_objects_accessed: int = 0
+    s_objects_accessed: int = 0
+    r_objects_total: int = 0
+    s_objects_total: int = 0
+
+    # ------------------------------------------------------------------
+    # derived measures
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return self.filter_seconds + self.refine_seconds
+
+    @property
+    def throughput(self) -> float:
+        """MBR-filtered pairs processed per second (Fig. 7a's metric)."""
+        if self.total_seconds == 0.0:
+            return float("inf")
+        return self.pairs / self.total_seconds
+
+    @property
+    def undetermined_pct(self) -> float:
+        """Share of pairs needing refinement (Fig. 7b / 8a's metric)."""
+        if self.pairs == 0:
+            return 0.0
+        return 100.0 * self.refined / self.pairs
+
+    @property
+    def geometry_access_pct(self) -> float:
+        """Share of distinct objects whose geometry was loaded."""
+        total = self.r_objects_total + self.s_objects_total
+        if total == 0:
+            return 0.0
+        return 100.0 * (self.r_objects_accessed + self.s_objects_accessed) / total
+
+    def record(self, relation: TopologicalRelation, stage: str) -> None:
+        self.pairs += 1
+        self.relation_counts[relation] += 1
+        if stage == "mbr":
+            self.resolved_mbr += 1
+        elif stage == "if":
+            self.resolved_if += 1
+        else:
+            self.refined += 1
+
+    def merge(self, other: "JoinRunStats") -> "JoinRunStats":
+        """Combine two runs of the same method (e.g. across batches)."""
+        if other.method != self.method:
+            raise ValueError(f"cannot merge stats of {self.method} and {other.method}")
+        merged = JoinRunStats(method=self.method)
+        merged.pairs = self.pairs + other.pairs
+        merged.resolved_mbr = self.resolved_mbr + other.resolved_mbr
+        merged.resolved_if = self.resolved_if + other.resolved_if
+        merged.refined = self.refined + other.refined
+        merged.relation_counts = self.relation_counts + other.relation_counts
+        merged.filter_seconds = self.filter_seconds + other.filter_seconds
+        merged.refine_seconds = self.refine_seconds + other.refine_seconds
+        merged.r_objects_accessed = self.r_objects_accessed + other.r_objects_accessed
+        merged.s_objects_accessed = self.s_objects_accessed + other.s_objects_accessed
+        merged.r_objects_total = self.r_objects_total + other.r_objects_total
+        merged.s_objects_total = self.s_objects_total + other.s_objects_total
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.method}: {self.pairs} pairs, "
+            f"{self.throughput:,.0f} pairs/s, "
+            f"{self.undetermined_pct:.1f}% refined "
+            f"(IF {self.filter_seconds:.3f}s, REF {self.refine_seconds:.3f}s)"
+        )
+
+
+__all__ = ["JoinRunStats"]

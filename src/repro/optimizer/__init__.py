@@ -1,0 +1,13 @@
+"""Query-optimizer support: selectivity estimation for topology queries.
+
+The paper's introduction cites the use of topological relations in
+spatial query optimisation via multiscale histograms [19]. This package
+provides that substrate: compact grid histograms summarising a dataset,
+and estimators for the cardinality of topological selections and joins
+— the numbers an optimiser needs to order joins or choose access paths
+*without* touching the data.
+"""
+
+from repro.optimizer.selectivity import SpatialHistogram, estimate_join_candidates
+
+__all__ = ["SpatialHistogram", "estimate_join_candidates"]

@@ -1,0 +1,29 @@
+"""APRIL raster-interval object approximations.
+
+This package implements the paper's raster substrate [14]: a global
+``2^k x 2^k`` grid whose cells are enumerated by a Hilbert curve, and a
+per-object approximation made of two sorted lists of half-open Hilbert
+intervals — the **Progressive** list ``P`` (cells entirely inside the
+object) and the **Conservative** list ``C`` (all cells fully or
+partially covered). Merge-join relations between interval lists
+(*overlap*, *match*, *inside*, *contains*) run in linear time and are
+the primitive operations of the paper's intermediate filters (Sec. 3.2).
+"""
+
+from repro.raster.april import AprilApproximation, build_april
+from repro.raster.grid import RasterGrid
+from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
+from repro.raster.intervals import IntervalList
+from repro.raster.rasterize import RasterizationError, rasterize_polygon
+
+__all__ = [
+    "AprilApproximation",
+    "IntervalList",
+    "RasterGrid",
+    "RasterizationError",
+    "build_april",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "hilbert_xy2d_bulk",
+    "rasterize_polygon",
+]

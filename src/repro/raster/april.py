@@ -1,0 +1,88 @@
+"""APRIL approximations: Progressive + Conservative Hilbert interval lists.
+
+For an object ``o`` on a grid ``G``:
+
+- ``P`` (Progressive) — intervals over the Hilbert ids of cells entirely
+  inside the *interior* of ``o``; a progressive approximation: every
+  ``P`` cell certifies area that definitely belongs to ``o``.
+- ``C`` (Conservative) — intervals over the ids of all cells fully or
+  partially covered by ``o`` (``P``'s cells plus every boundary cell);
+  any point of ``o`` lies in some ``C`` cell.
+
+These invariants (``P ⊆ C``; ``P`` cells avoid the boundary; ``C``
+covers the object) are exactly what the Sec. 3.2 intermediate filters
+rely on, and are property-tested in ``tests/test_raster_april.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.raster.grid import RasterGrid
+from repro.raster.intervals import IntervalList
+from repro.raster.rasterize import rasterize_polygon
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.geometry.polygon import Polygon
+
+
+@dataclass(frozen=True)
+class AprilApproximation:
+    """The P and C interval lists of one object on one grid."""
+
+    grid: RasterGrid
+    p: IntervalList
+    c: IntervalList
+
+    @property
+    def nbytes(self) -> int:
+        """Approximation storage footprint (paper Table 2's ``P+C`` column)."""
+        return self.p.nbytes + self.c.nbytes
+
+    @property
+    def has_full_cells(self) -> bool:
+        """The ``|P| > 0`` test of the IFInside/IFContains flow diagrams."""
+        return bool(self.p)
+
+    def check_compatible(self, other: "AprilApproximation") -> None:
+        if not self.grid.compatible_with(other.grid):
+            raise ValueError(
+                "APRIL approximations built on different grids cannot be compared"
+            )
+
+
+def build_april(
+    polygon: "Polygon",
+    grid: RasterGrid,
+    max_cells: int = 64_000_000,
+) -> AprilApproximation:
+    """Rasterise ``polygon`` on ``grid`` and build its P and C lists."""
+    cells = rasterize_polygon(polygon, grid, max_cells=max_cells)
+
+    if cells.full.size:
+        full_ids = grid.hilbert_ids_bulk(cells.full[:, 0], cells.full[:, 1])
+    else:
+        full_ids = np.empty(0, dtype=np.int64)
+    if cells.partial.size:
+        partial_ids = grid.hilbert_ids_bulk(cells.partial[:, 0], cells.partial[:, 1])
+    else:
+        partial_ids = np.empty(0, dtype=np.int64)
+
+    p_list = IntervalList.from_cells(full_ids)
+    c_list = IntervalList.from_cells(np.concatenate((full_ids, partial_ids)))
+    return AprilApproximation(grid=grid, p=p_list, c=c_list)
+
+
+def build_april_many(
+    polygons: Iterable["Polygon"],
+    grid: RasterGrid,
+    max_cells: int = 64_000_000,
+) -> list[AprilApproximation]:
+    """Build approximations for a whole dataset (the preprocessing step)."""
+    return [build_april(p, grid, max_cells=max_cells) for p in polygons]
+
+
+__all__ = ["AprilApproximation", "build_april", "build_april_many"]

@@ -1,0 +1,122 @@
+"""The global raster grid.
+
+A :class:`RasterGrid` overlays a ``2^order x 2^order`` cell grid on a
+scenario's dataspace (the paper uses an independent ``2^16`` grid per
+scenario; the order here is configurable). It converts between world
+coordinates, integer cell coordinates, and Hilbert curve positions. Both
+objects of a candidate pair must be approximated on the **same** grid
+for interval-list comparisons to be meaningful; the grid therefore
+carries an identity that :class:`~repro.raster.april.AprilApproximation`
+checks at comparison time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
+
+
+@dataclass(frozen=True)
+class RasterGrid:
+    """An order-``order`` Hilbert-enumerated grid over ``dataspace``.
+
+    Cells are indexed by integer ``(col, row)`` with ``(0, 0)`` at the
+    dataspace's lower-left corner. Each cell's extent is closed, so
+    neighbouring cells share their border — the conservative semantics
+    the rasteriser relies on.
+    """
+
+    dataspace: Box
+    order: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.order <= 16:
+            raise ValueError(f"grid order must be in [1, 16], got {self.order}")
+        if self.dataspace.width <= 0 or self.dataspace.height <= 0:
+            raise ValueError("dataspace must have positive width and height")
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def side(self) -> int:
+        """Number of cells per dimension (``2**order``)."""
+        return 1 << self.order
+
+    @property
+    def num_cells(self) -> int:
+        return self.side * self.side
+
+    @cached_property
+    def cell_width(self) -> float:
+        return self.dataspace.width / self.side
+
+    @cached_property
+    def cell_height(self) -> float:
+        return self.dataspace.height / self.side
+
+    # ------------------------------------------------------------------
+    # coordinate conversion
+    # ------------------------------------------------------------------
+    def to_cell_units(self, x: float, y: float) -> tuple[float, float]:
+        """World point -> continuous cell coordinates (col units, row units)."""
+        return (
+            (x - self.dataspace.xmin) / self.cell_width,
+            (y - self.dataspace.ymin) / self.cell_height,
+        )
+
+    def cell_of_point(self, x: float, y: float) -> tuple[int, int]:
+        """The cell containing the point (ties resolved toward +col/+row),
+        clamped into the grid."""
+        u, v = self.to_cell_units(x, y)
+        col = min(self.side - 1, max(0, int(math.floor(u))))
+        row = min(self.side - 1, max(0, int(math.floor(v))))
+        return col, row
+
+    def cell_box(self, col: int, row: int) -> Box:
+        """World-space closed extent of cell ``(col, row)``."""
+        x0 = self.dataspace.xmin + col * self.cell_width
+        y0 = self.dataspace.ymin + row * self.cell_height
+        return Box(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+
+    def cell_center(self, col: int, row: int) -> tuple[float, float]:
+        return (
+            self.dataspace.xmin + (col + 0.5) * self.cell_width,
+            self.dataspace.ymin + (row + 0.5) * self.cell_height,
+        )
+
+    def cell_range_of_box(self, box: Box) -> tuple[int, int, int, int]:
+        """Inclusive ``(col_lo, row_lo, col_hi, row_hi)`` of cells whose
+        closed extents intersect ``box`` (clamped to the grid)."""
+        u0, v0 = self.to_cell_units(box.xmin, box.ymin)
+        u1, v1 = self.to_cell_units(box.xmax, box.ymax)
+        col_lo = max(0, min(self.side - 1, int(math.floor(u0))))
+        row_lo = max(0, min(self.side - 1, int(math.floor(v0))))
+        col_hi = max(0, min(self.side - 1, int(math.floor(u1))))
+        row_hi = max(0, min(self.side - 1, int(math.floor(v1))))
+        return col_lo, row_lo, col_hi, row_hi
+
+    # ------------------------------------------------------------------
+    # Hilbert enumeration
+    # ------------------------------------------------------------------
+    def hilbert_id(self, col: int, row: int) -> int:
+        return hilbert_xy2d(self.order, col, row)
+
+    def hilbert_ids_bulk(self, cols: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        return hilbert_xy2d_bulk(self.order, cols, rows)
+
+    def cell_of_hilbert_id(self, d: int) -> tuple[int, int]:
+        return hilbert_d2xy(self.order, d)
+
+    def compatible_with(self, other: "RasterGrid") -> bool:
+        """True iff approximations built on the two grids are comparable."""
+        return self == other
+
+
+__all__ = ["RasterGrid"]

@@ -1,0 +1,203 @@
+"""Sorted disjoint interval lists and their merge-join relations.
+
+An :class:`IntervalList` is the storage form of an APRIL approximation:
+half-open integer intervals ``[start, end)`` over Hilbert cell ids,
+sorted, pairwise disjoint and maximally coalesced. The four relations of
+Sec. 3.2 — *overlap*, *match*, *inside*, *contains* — are single-pass
+merge joins, each ``O(|X| + |Y|)`` exactly because the intervals within
+a list are disjoint and sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class IntervalList:
+    """An immutable sorted list of disjoint half-open intervals.
+
+    Internally two parallel numpy int64 arrays (``starts``, ``ends``).
+    """
+
+    __slots__ = ("starts", "ends")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        pairs = [(int(s), int(e)) for s, e in intervals]
+        for s, e in pairs:
+            if s >= e:
+                raise ValueError(f"empty or inverted interval [{s}, {e})")
+        pairs.sort()
+        merged: list[list[int]] = []
+        for s, e in pairs:
+            if merged and s <= merged[-1][1]:
+                if e > merged[-1][1]:
+                    merged[-1][1] = e
+            else:
+                merged.append([s, e])
+        self.starts = np.array([m[0] for m in merged], dtype=np.int64)
+        self.ends = np.array([m[1] for m in merged], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_cells(cell_ids: Iterable[int] | np.ndarray) -> "IntervalList":
+        """Coalesce individual cell ids into maximal intervals."""
+        ids = np.unique(np.asarray(list(cell_ids) if not isinstance(cell_ids, np.ndarray) else cell_ids, dtype=np.int64))
+        if ids.size == 0:
+            return EMPTY_INTERVALS
+        breaks = np.nonzero(np.diff(ids) > 1)[0]
+        starts = ids[np.concatenate(([0], breaks + 1))]
+        ends = ids[np.concatenate((breaks, [ids.size - 1]))] + 1
+        result = IntervalList.__new__(IntervalList)
+        result.starts = starts
+        result.ends = ends
+        return result
+
+    @staticmethod
+    def _from_arrays(starts: np.ndarray, ends: np.ndarray) -> "IntervalList":
+        result = IntervalList.__new__(IntervalList)
+        result.starts = starts
+        result.ends = ends
+        return result
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def __bool__(self) -> bool:
+        return self.starts.size > 0
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for s, e in zip(self.starts.tolist(), self.ends.tolist()):
+            yield (s, e)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalList):
+            return NotImplemented
+        return self.matches(other)
+
+    def __hash__(self) -> int:
+        return hash((self.starts.tobytes(), self.ends.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = ", ".join(f"[{s},{e})" for s, e in list(self)[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return f"IntervalList({preview}{suffix} | {len(self)} intervals)"
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells covered."""
+        return int((self.ends - self.starts).sum())
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size: two 64-bit words per interval (paper Table 2)."""
+        return int(self.starts.nbytes + self.ends.nbytes)
+
+    def covers_cell(self, cell_id: int) -> bool:
+        """True iff ``cell_id`` lies in some interval (binary search)."""
+        idx = int(np.searchsorted(self.starts, cell_id, side="right")) - 1
+        return idx >= 0 and cell_id < self.ends[idx]
+
+    def iter_cells(self) -> Iterator[int]:
+        for s, e in self:
+            yield from range(s, e)
+
+    # ------------------------------------------------------------------
+    # Sec. 3.2 relations (linear merge joins)
+    # ------------------------------------------------------------------
+    def overlaps(self, other: "IntervalList") -> bool:
+        """'X,Y overlap': some pair of intervals shares a cell id."""
+        xs, xe = self.starts, self.ends
+        ys, ye = other.starts, other.ends
+        i = j = 0
+        nx, ny = xs.size, ys.size
+        while i < nx and j < ny:
+            if xs[i] < ye[j] and ys[j] < xe[i]:
+                return True
+            if xe[i] <= ye[j]:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def matches(self, other: "IntervalList") -> bool:
+        """'X,Y match': the two lists are identical."""
+        return (
+            self.starts.size == other.starts.size
+            and bool(np.array_equal(self.starts, other.starts))
+            and bool(np.array_equal(self.ends, other.ends))
+        )
+
+    def inside(self, other: "IntervalList") -> bool:
+        """'X inside Y': every interval of X is contained in one of Y.
+
+        An empty X is vacuously inside anything.
+        """
+        xs, xe = self.starts, self.ends
+        ys, ye = other.starts, other.ends
+        ny = ys.size
+        j = 0
+        for i in range(xs.size):
+            s = xs[i]
+            e = xe[i]
+            while j < ny and ye[j] < e:
+                j += 1
+            if j >= ny or not (ys[j] <= s and e <= ye[j]):
+                return False
+        return True
+
+    def contains(self, other: "IntervalList") -> bool:
+        """'X contains Y': inverse of 'Y inside X'."""
+        return other.inside(self)
+
+    # ------------------------------------------------------------------
+    # set operations (used by tests and diagnostics)
+    # ------------------------------------------------------------------
+    def intersection(self, other: "IntervalList") -> "IntervalList":
+        xs, xe = self.starts, self.ends
+        ys, ye = other.starts, other.ends
+        i = j = 0
+        out: list[tuple[int, int]] = []
+        while i < xs.size and j < ys.size:
+            lo = max(xs[i], ys[j])
+            hi = min(xe[i], ye[j])
+            if lo < hi:
+                out.append((int(lo), int(hi)))
+            if xe[i] <= ye[j]:
+                i += 1
+            else:
+                j += 1
+        return IntervalList(out)
+
+    def union(self, other: "IntervalList") -> "IntervalList":
+        return IntervalList(list(self) + list(other))
+
+    def difference(self, other: "IntervalList") -> "IntervalList":
+        out: list[tuple[int, int]] = []
+        ys, ye = other.starts, other.ends
+        j = 0
+        for s, e in self:
+            cur = s
+            while j < ys.size and ye[j] <= cur:
+                j += 1
+            k = j
+            while k < ys.size and ys[k] < e:
+                if ys[k] > cur:
+                    out.append((cur, int(ys[k])))
+                cur = max(cur, int(ye[k]))
+                k += 1
+            if cur < e:
+                out.append((cur, e))
+        return IntervalList(out)
+
+
+#: Shared empty list (e.g. the P list of a thin polygon with no full cells).
+EMPTY_INTERVALS = IntervalList()
+
+__all__ = ["EMPTY_INTERVALS", "IntervalList"]

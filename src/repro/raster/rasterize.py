@@ -1,0 +1,174 @@
+"""Conservative polygon rasterisation.
+
+Splits the grid cells under a polygon's MBR into three classes:
+
+- **partial** — cells whose closed extent is touched by the polygon
+  *boundary* (marked conservatively: a cell is never missed, it may at
+  worst be over-marked, which only moves a would-be-full cell into the
+  conservative class);
+- **full** — untouched cells whose extent lies entirely in the polygon
+  interior;
+- empty — untouched cells entirely outside.
+
+The correctness of classifying untouched cells by a single point rests
+on the *uniform-run lemma*: two edge-adjacent untouched cells cannot
+differ in status, because the boundary would have to cross their shared
+(closed) edge and would then touch — and mark — both cells. Boundary
+marking therefore walks every edge through the grid in cell units,
+marking the cell of each inter-crossing span midpoint; points that land
+exactly on a grid line mark both sides (and all four cells at a grid
+corner), which handles edges running along grid lines and exact corner
+crossings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.topology.pip import points_strictly_inside
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.geometry.polygon import Polygon
+    from repro.raster.grid import RasterGrid
+
+
+class RasterizationError(ValueError):
+    """Raised when a polygon's MBR covers too many cells to rasterise."""
+
+
+@dataclass(frozen=True)
+class RasterCells:
+    """Rasterisation result in global integer cell coordinates.
+
+    ``partial`` and ``full`` are ``(N, 2)`` int64 arrays of
+    ``(col, row)`` pairs; together they are the conservative cell set.
+    """
+
+    partial: np.ndarray
+    full: np.ndarray
+
+
+def rasterize_polygon(
+    polygon: "Polygon",
+    grid: "RasterGrid",
+    max_cells: int = 64_000_000,
+) -> RasterCells:
+    """Classify the cells under ``polygon``'s MBR (see module docstring)."""
+    col_lo, row_lo, col_hi, row_hi = grid.cell_range_of_box(polygon.bbox)
+    width = col_hi - col_lo + 1
+    height = row_hi - row_lo + 1
+    if width * height > max_cells:
+        raise RasterizationError(
+            f"polygon MBR spans {width}x{height} cells (> {max_cells}); "
+            "use a coarser grid order"
+        )
+
+    marked = np.zeros((height, width), dtype=bool)
+    for a, b in polygon.edges():
+        _mark_edge(marked, grid, a, b, col_lo, row_lo)
+
+    full = np.zeros((height, width), dtype=bool)
+    _classify_unmarked_runs(full, marked, polygon, grid, col_lo, row_lo)
+
+    prows, pcols = np.nonzero(marked)
+    frows, fcols = np.nonzero(full)
+    partial_cells = np.column_stack((pcols + col_lo, prows + row_lo)).astype(np.int64)
+    full_cells = np.column_stack((fcols + col_lo, frows + row_lo)).astype(np.int64)
+    return RasterCells(partial=partial_cells, full=full_cells)
+
+
+def _mark_edge(
+    marked: np.ndarray,
+    grid: "RasterGrid",
+    a: tuple[float, float],
+    b: tuple[float, float],
+    col_lo: int,
+    row_lo: int,
+) -> None:
+    """Mark every cell whose closed extent the segment ``a-b`` touches."""
+    ua, va = grid.to_cell_units(a[0], a[1])
+    ub, vb = grid.to_cell_units(b[0], b[1])
+    du = ub - ua
+    dv = vb - va
+
+    ts = [0.0, 1.0]
+    if du != 0.0:
+        lo, hi = (ua, ub) if ua <= ub else (ub, ua)
+        for gx in range(math.ceil(lo), math.floor(hi) + 1):
+            ts.append((gx - ua) / du)
+    if dv != 0.0:
+        lo, hi = (va, vb) if va <= vb else (vb, va)
+        for gy in range(math.ceil(lo), math.floor(hi) + 1):
+            ts.append((gy - va) / dv)
+    ts = sorted(t for t in ts if 0.0 <= t <= 1.0)
+
+    height, width = marked.shape
+
+    def mark_point(u: float, v: float) -> None:
+        cu = math.floor(u)
+        cv = math.floor(v)
+        cols = (cu - 1, cu) if u == cu else (cu,)
+        rows = (cv - 1, cv) if v == cv else (cv,)
+        for c in cols:
+            lc = c - col_lo
+            if not 0 <= lc < width:
+                continue
+            for r in rows:
+                lr = r - row_lo
+                if 0 <= lr < height:
+                    marked[lr, lc] = True
+
+    # Endpoints and exact crossings (handles corner touches).
+    for t in ts:
+        mark_point(ua + t * du, va + t * dv)
+    # Span midpoints (handles the interior of the traversal and edges
+    # running exactly along a grid line).
+    for t0, t1 in zip(ts, ts[1:]):
+        if t1 > t0:
+            tm = (t0 + t1) / 2.0
+            mark_point(ua + tm * du, va + tm * dv)
+
+
+def _classify_unmarked_runs(
+    full: np.ndarray,
+    marked: np.ndarray,
+    polygon: "Polygon",
+    grid: "RasterGrid",
+    col_lo: int,
+    row_lo: int,
+) -> None:
+    """Classify maximal unmarked runs per row by one interior test each."""
+    height, width = marked.shape
+    run_rows: list[int] = []
+    run_starts: list[int] = []
+    run_ends: list[int] = []
+    rep_points: list[tuple[float, float]] = []
+
+    for lr in range(height):
+        row_marked = marked[lr]
+        lc = 0
+        while lc < width:
+            if row_marked[lc]:
+                lc += 1
+                continue
+            start = lc
+            while lc < width and not row_marked[lc]:
+                lc += 1
+            run_rows.append(lr)
+            run_starts.append(start)
+            run_ends.append(lc)
+            rep_points.append(grid.cell_center(start + col_lo, lr + row_lo))
+
+    if not rep_points:
+        return
+    inside = points_strictly_inside(rep_points, polygon)
+    for k in range(len(rep_points)):
+        if inside[k]:
+            full[run_rows[k], run_starts[k] : run_ends[k]] = True
+
+
+__all__ = ["RasterCells", "RasterizationError", "rasterize_polygon"]

@@ -1,0 +1,92 @@
+"""Persistence for APRIL approximations.
+
+The paper's preprocessing ("conducted once per object") pays off only
+if approximations are stored and reloaded across join runs. This module
+packs a whole dataset's P/C interval lists into one ``.npz`` file:
+per-object interval arrays are concatenated with offset indexes, so a
+collection of any size loads with a handful of numpy reads and zero
+per-object parsing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.box import Box
+from repro.raster.april import AprilApproximation
+from repro.raster.grid import RasterGrid
+from repro.raster.intervals import IntervalList
+
+_FORMAT_VERSION = 1
+
+
+def save_approximations(
+    path: str | Path,
+    approximations: Sequence[AprilApproximation],
+) -> None:
+    """Write a dataset's approximations (plus their grid) to ``path``.
+
+    All approximations must share one grid — the same requirement the
+    filters impose at comparison time.
+    """
+    if not approximations:
+        raise ValueError("nothing to save: empty approximation sequence")
+    grid = approximations[0].grid
+    for a in approximations[1:]:
+        a.check_compatible(approximations[0])
+
+    def pack(lists: list[IntervalList]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+        for k, il in enumerate(lists):
+            offsets[k + 1] = offsets[k] + len(il)
+        starts = np.concatenate([il.starts for il in lists]) if offsets[-1] else np.empty(0, np.int64)
+        ends = np.concatenate([il.ends for il in lists]) if offsets[-1] else np.empty(0, np.int64)
+        return offsets, starts, ends
+
+    p_off, p_starts, p_ends = pack([a.p for a in approximations])
+    c_off, c_starts, c_ends = pack([a.c for a in approximations])
+
+    ds = grid.dataspace
+    np.savez_compressed(
+        Path(path),
+        version=np.int64(_FORMAT_VERSION),
+        grid_order=np.int64(grid.order),
+        dataspace=np.array([ds.xmin, ds.ymin, ds.xmax, ds.ymax]),
+        p_offsets=p_off, p_starts=p_starts, p_ends=p_ends,
+        c_offsets=c_off, c_starts=c_starts, c_ends=c_ends,
+    )
+
+
+def load_approximations(path: str | Path) -> list[AprilApproximation]:
+    """Read approximations written by :func:`save_approximations`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported approximation file version {version}")
+        xmin, ymin, xmax, ymax = data["dataspace"].tolist()
+        grid = RasterGrid(Box(xmin, ymin, xmax, ymax), order=int(data["grid_order"]))
+
+        def unpack(prefix: str) -> list[IntervalList]:
+            offsets = data[f"{prefix}_offsets"]
+            starts = data[f"{prefix}_starts"]
+            ends = data[f"{prefix}_ends"]
+            lists = []
+            for k in range(offsets.size - 1):
+                lo, hi = int(offsets[k]), int(offsets[k + 1])
+                lists.append(IntervalList._from_arrays(starts[lo:hi].copy(), ends[lo:hi].copy()))
+            return lists
+
+        p_lists = unpack("p")
+        c_lists = unpack("c")
+
+    if len(p_lists) != len(c_lists):
+        raise ValueError("corrupt approximation file: P/C counts differ")
+    return [
+        AprilApproximation(grid=grid, p=p, c=c) for p, c in zip(p_lists, c_lists)
+    ]
+
+
+__all__ = ["load_approximations", "save_approximations"]

@@ -1,0 +1,79 @@
+"""RCC8: the region-connection-calculus view of the eight relations.
+
+Geo-spatial interlinking systems (RADON [31], Silk [2]) frequently emit
+RCC8 links rather than DE-9IM relation names. For regular closed
+regions the paper's eight relations are in bijection with RCC8's eight
+base relations, with one nuance: the paper's *intersects* is its most
+*general* relation, whereas its RCC8 counterpart ``PO`` (partial
+overlap) is the *specific* "interiors overlap but neither contains the
+other" case — exactly what *intersects* means when it is the most
+specific answer of find-relation, which is the only place this mapping
+should be applied.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.topology.de9im import DE9IM, TopologicalRelation as T, most_specific_relation
+
+
+class RCC8(enum.Enum):
+    """The eight RCC8 base relations."""
+
+    DC = "DC"        #: disconnected
+    EC = "EC"        #: externally connected (touch)
+    PO = "PO"        #: partial overlap
+    TPP = "TPP"      #: tangential proper part
+    NTPP = "NTPP"    #: non-tangential proper part
+    TPPI = "TPPi"    #: tangential proper part inverse
+    NTPPI = "NTPPi"  #: non-tangential proper part inverse
+    EQ = "EQ"        #: equal
+
+    @property
+    def inverse(self) -> "RCC8":
+        return _INVERSES[self]
+
+
+_INVERSES = {
+    RCC8.DC: RCC8.DC,
+    RCC8.EC: RCC8.EC,
+    RCC8.PO: RCC8.PO,
+    RCC8.TPP: RCC8.TPPI,
+    RCC8.NTPP: RCC8.NTPPI,
+    RCC8.TPPI: RCC8.TPP,
+    RCC8.NTPPI: RCC8.NTPP,
+    RCC8.EQ: RCC8.EQ,
+}
+
+#: Most-specific topological relation -> RCC8 base relation.
+TO_RCC8: dict[T, RCC8] = {
+    T.DISJOINT: RCC8.DC,
+    T.MEETS: RCC8.EC,
+    T.INTERSECTS: RCC8.PO,
+    T.COVERED_BY: RCC8.TPP,
+    T.INSIDE: RCC8.NTPP,
+    T.COVERS: RCC8.TPPI,
+    T.CONTAINS: RCC8.NTPPI,
+    T.EQUALS: RCC8.EQ,
+}
+
+FROM_RCC8: dict[RCC8, T] = {rcc: rel for rel, rcc in TO_RCC8.items()}
+
+
+def relation_to_rcc8(relation: T) -> RCC8:
+    """RCC8 base relation for a *most specific* topological relation."""
+    return TO_RCC8[relation]
+
+
+def rcc8_to_relation(rcc8: RCC8) -> T:
+    """The paper-vocabulary relation for an RCC8 base relation."""
+    return FROM_RCC8[rcc8]
+
+
+def rcc8_of_matrix(matrix: DE9IM) -> RCC8:
+    """RCC8 base relation straight from a DE-9IM matrix."""
+    return relation_to_rcc8(most_specific_relation(matrix))
+
+
+__all__ = ["FROM_RCC8", "RCC8", "TO_RCC8", "rcc8_of_matrix", "rcc8_to_relation", "relation_to_rcc8"]

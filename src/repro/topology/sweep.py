@@ -1,0 +1,124 @@
+"""Boundary-boundary intersection via a forward-scan plane sweep.
+
+Finds every intersection between the boundary edge sets of two polygons:
+proper crossings, endpoint/interior touches, and collinear overlaps. The
+result drives the DE-9IM engine's boundary subdivision.
+
+The sweep is the classic sort-by-xmin forward scan used for MBR joins:
+edges of both polygons are processed in x order; each incoming edge is
+tested only against still-active edges of the *other* polygon whose
+x-interval reaches it and whose y-intervals overlap. Typical cost is
+``O((n + m) log(n + m) + k)`` for mostly-local boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.geometry.segment import (
+    SegmentIntersectionKind,
+    segment_intersection,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.geometry.polygon import Polygon
+
+Coord = tuple[float, float]
+
+
+@dataclass
+class BoundaryIntersections:
+    """All boundary/boundary intersections of a polygon pair.
+
+    ``cuts_r[i]`` lists the points at which edge ``i`` of ``r`` (in
+    :meth:`Polygon.edges` order) must be subdivided; ``overlaps_r[i]``
+    lists collinear-overlap sub-segments of that edge that lie *on* the
+    boundary of ``s`` (endpoint pairs, each also present in the cuts).
+    ``contact`` is True iff the boundaries share at least one point.
+    """
+
+    contact: bool = False
+    cuts_r: dict[int, list[Coord]] = field(default_factory=dict)
+    cuts_s: dict[int, list[Coord]] = field(default_factory=dict)
+    overlaps_r: dict[int, list[tuple[Coord, Coord]]] = field(default_factory=dict)
+    overlaps_s: dict[int, list[tuple[Coord, Coord]]] = field(default_factory=dict)
+
+    def _record_cut(self, side: str, index: int, point: Coord) -> None:
+        cuts = self.cuts_r if side == "r" else self.cuts_s
+        cuts.setdefault(index, []).append(point)
+
+    def _record_overlap(self, side: str, index: int, lo: Coord, hi: Coord) -> None:
+        overlaps = self.overlaps_r if side == "r" else self.overlaps_s
+        overlaps.setdefault(index, []).append((lo, hi))
+
+
+def boundary_intersections(r: "Polygon", s: "Polygon") -> BoundaryIntersections:
+    """Compute all intersections between ``boundary(r)`` and ``boundary(s)``."""
+    result = BoundaryIntersections()
+
+    # Only edges inside the MBR overlap region can meet the other boundary.
+    clip = r.bbox.intersection(s.bbox)
+    if clip is None:
+        return result
+    cxmin, cymin, cxmax, cymax = clip.xmin, clip.ymin, clip.xmax, clip.ymax
+
+    # (xmin, xmax, ymin, ymax, side, index, a, b) sorted by xmin.
+    items: list[tuple[float, float, float, float, str, int, Coord, Coord]] = []
+    for side, poly in (("r", r), ("s", s)):
+        for index, (a, b) in enumerate(poly.edges()):
+            xmin, xmax = (a[0], b[0]) if a[0] <= b[0] else (b[0], a[0])
+            if xmax < cxmin or xmin > cxmax:
+                continue
+            ymin, ymax = (a[1], b[1]) if a[1] <= b[1] else (b[1], a[1])
+            if ymax < cymin or ymin > cymax:
+                continue
+            items.append((xmin, xmax, ymin, ymax, side, index, a, b))
+    items.sort(key=lambda t: t[0])
+
+    active_r: list[tuple[float, float, float, int, Coord, Coord]] = []
+    active_s: list[tuple[float, float, float, int, Coord, Coord]] = []
+    for xmin, xmax, ymin, ymax, side, index, a, b in items:
+        mine, theirs = (active_r, active_s) if side == "r" else (active_s, active_r)
+        # Drop opposite-side edges the sweep line has passed.
+        if theirs:
+            theirs[:] = [e for e in theirs if e[0] >= xmin]
+        for _, oymin, oymax, oindex, oa, ob in theirs:
+            if oymax < ymin or oymin > ymax:
+                continue
+            if side == "r":
+                _process_pair(result, index, a, b, oindex, oa, ob)
+            else:
+                _process_pair(result, oindex, oa, ob, index, a, b)
+        mine.append((xmax, ymin, ymax, index, a, b))
+    return result
+
+
+def _process_pair(
+    result: BoundaryIntersections,
+    ri: int,
+    ra: Coord,
+    rb: Coord,
+    si: int,
+    sa: Coord,
+    sb: Coord,
+) -> None:
+    inter = segment_intersection(ra, rb, sa, sb)
+    if inter.kind is SegmentIntersectionKind.NONE:
+        return
+    result.contact = True
+    if inter.kind is SegmentIntersectionKind.OVERLAP:
+        lo, hi = inter.points
+        result._record_cut("r", ri, lo)
+        result._record_cut("r", ri, hi)
+        result._record_cut("s", si, lo)
+        result._record_cut("s", si, hi)
+        result._record_overlap("r", ri, lo, hi)
+        result._record_overlap("s", si, lo, hi)
+    else:
+        point = inter.points[0]
+        result._record_cut("r", ri, point)
+        result._record_cut("s", si, point)
+
+
+__all__ = ["BoundaryIntersections", "boundary_intersections"]

@@ -1,0 +1,153 @@
+"""Geometry validity reports.
+
+``Polygon.is_valid()`` answers yes/no; data ingestion wants to know
+*what* is wrong and *where*. :func:`validity_report` returns a list of
+:class:`ValidityIssue` records — empty for valid input — each naming
+the failing component and, where possible, the offending location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.linestring import LineString
+from repro.geometry.multipolygon import MultiPolygon
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import Location, locate_point_in_ring
+from repro.geometry.ring import Ring
+from repro.geometry.segment import SegmentIntersectionKind, segment_intersection
+
+
+@dataclass(frozen=True)
+class ValidityIssue:
+    """One problem found in a geometry."""
+
+    code: str
+    message: str
+    location: tuple[float, float] | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f" near {self.location}" if self.location else ""
+        return f"[{self.code}] {self.message}{where}"
+
+
+def _ring_self_intersections(ring: Ring, label: str) -> list[ValidityIssue]:
+    issues: list[ValidityIssue] = []
+    edges = list(ring.edges())
+    n = len(edges)
+    for i in range(n):
+        a1, a2 = edges[i]
+        for j in range(i + 1, n):
+            b1, b2 = edges[j]
+            inter = segment_intersection(a1, a2, b1, b2)
+            if inter.kind is SegmentIntersectionKind.NONE:
+                continue
+            adjacent = (i + 1) % n == j or (j + 1) % n == i
+            if inter.kind is SegmentIntersectionKind.OVERLAP:
+                issues.append(
+                    ValidityIssue(
+                        "ring-overlap",
+                        f"{label}: edges {i} and {j} overlap collinearly",
+                        inter.points[0],
+                    )
+                )
+                continue
+            point = inter.points[0]
+            if adjacent:
+                shared = a2 if (i + 1) % n == j else b2
+                if point == shared:
+                    continue
+            issues.append(
+                ValidityIssue(
+                    "ring-self-intersection",
+                    f"{label}: edges {i} and {j} intersect",
+                    point,
+                )
+            )
+    return issues
+
+
+def _polygon_issues(polygon: Polygon, label: str = "polygon") -> list[ValidityIssue]:
+    issues = _ring_self_intersections(polygon.shell, f"{label} shell")
+    for h, hole in enumerate(polygon.holes):
+        hole_label = f"{label} hole {h}"
+        issues.extend(_ring_self_intersections(hole, hole_label))
+        if not polygon.shell.bbox.contains_box(hole.bbox):
+            issues.append(
+                ValidityIssue(
+                    "hole-outside-shell",
+                    f"{hole_label}: MBR extends beyond the shell's MBR",
+                    hole.coords[0],
+                )
+            )
+            continue
+        for vertex in hole.coords:
+            if locate_point_in_ring(vertex, polygon.shell) is Location.EXTERIOR:
+                issues.append(
+                    ValidityIssue(
+                        "hole-outside-shell",
+                        f"{hole_label}: vertex outside the shell",
+                        vertex,
+                    )
+                )
+                break
+    for h1 in range(len(polygon.holes)):
+        for h2 in range(h1 + 1, len(polygon.holes)):
+            a, b = polygon.holes[h1], polygon.holes[h2]
+            if not a.bbox.intersects(b.bbox):
+                continue
+            for vertex in a.coords:
+                if locate_point_in_ring(vertex, b) is Location.INTERIOR:
+                    issues.append(
+                        ValidityIssue(
+                            "holes-overlap",
+                            f"{label}: holes {h1} and {h2} overlap",
+                            vertex,
+                        )
+                    )
+                    break
+    return issues
+
+
+def validity_report(geometry) -> list[ValidityIssue]:
+    """All validity problems of a Polygon / MultiPolygon / LineString."""
+    if isinstance(geometry, Polygon):
+        return _polygon_issues(geometry)
+    if isinstance(geometry, MultiPolygon):
+        issues: list[ValidityIssue] = []
+        for k, part in enumerate(geometry.parts):
+            issues.extend(_polygon_issues(part, label=f"part {k}"))
+        for i in range(len(geometry.parts)):
+            for j in range(i + 1, len(geometry.parts)):
+                a, b = geometry.parts[i], geometry.parts[j]
+                if not a.bbox.intersects(b.bbox):
+                    continue
+                probes = [a.representative_point] + list(a.shell.coords[:8])
+                for p in probes:
+                    if b.locate(p) is Location.INTERIOR:
+                        issues.append(
+                            ValidityIssue(
+                                "parts-overlap",
+                                f"parts {i} and {j} have overlapping interiors",
+                                p,
+                            )
+                        )
+                        break
+        return issues
+    if isinstance(geometry, LineString):
+        if geometry.is_simple():
+            return []
+        return [
+            ValidityIssue(
+                "line-self-intersection", "linestring intersects itself", None
+            )
+        ]
+    raise TypeError(f"unsupported geometry {type(geometry).__name__}")
+
+
+def is_valid_geometry(geometry) -> bool:
+    """Convenience wrapper: True iff the report is empty."""
+    return not validity_report(geometry)
+
+
+__all__ = ["ValidityIssue", "is_valid_geometry", "validity_report"]

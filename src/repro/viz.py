@@ -1,0 +1,190 @@
+"""SVG rendering of geometries, rasters and candidate pairs.
+
+The paper illustrates its case study (Fig. 9b) with a lake drawn inside
+a park; this module regenerates such figures: polygons with holes,
+APRIL cell overlays (Progressive cells solid, Conservative-only cells
+hatched-light), and two-object pair views. Pure standard library — the
+output is a plain SVG string.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.raster.april import AprilApproximation
+
+#: Default fill/stroke palette, cycled over geometries.
+PALETTE = (
+    ("#4a90d9", "#1c5f9e"),  # blue
+    ("#69b764", "#2e7d32"),  # green
+    ("#e0893f", "#b25a12"),  # orange
+    ("#b36ae2", "#7b2fae"),  # purple
+    ("#d95c5c", "#9e1c1c"),  # red
+)
+
+
+class SvgCanvas:
+    """A tiny SVG builder mapping world coordinates to pixel space.
+
+    World y grows upward; SVG y grows downward — the canvas flips.
+    """
+
+    def __init__(self, world: Box, width_px: int = 640, margin_px: int = 16) -> None:
+        if world.width <= 0 or world.height <= 0:
+            world = world.expanded(max(world.width, world.height, 1.0) * 0.5)
+        self.world = world
+        self.margin = margin_px
+        inner = width_px - 2 * margin_px
+        self.scale = inner / world.width
+        self.width_px = width_px
+        self.height_px = int(round(world.height * self.scale)) + 2 * margin_px
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def to_px(self, x: float, y: float) -> tuple[float, float]:
+        px = self.margin + (x - self.world.xmin) * self.scale
+        py = self.height_px - self.margin - (y - self.world.ymin) * self.scale
+        return px, py
+
+    # ------------------------------------------------------------------
+    # drawing
+    # ------------------------------------------------------------------
+    def add_polygon(
+        self,
+        polygon: Polygon,
+        fill: str = "#4a90d9",
+        stroke: str = "#1c5f9e",
+        opacity: float = 0.55,
+        stroke_width: float = 1.5,
+    ) -> None:
+        """A polygon with holes via the SVG even-odd fill rule."""
+        path_parts = []
+        for ring in polygon.rings():
+            points = [self.to_px(x, y) for x, y in ring.coords]
+            moves = " L ".join(f"{x:.2f} {y:.2f}" for x, y in points)
+            path_parts.append(f"M {moves} Z")
+        d = " ".join(path_parts)
+        self._elements.append(
+            f'<path d="{d}" fill="{fill}" fill-opacity="{opacity}" '
+            f'fill-rule="evenodd" stroke="{stroke}" stroke-width="{stroke_width}"/>'
+        )
+
+    def add_geometry(self, geometry, **style) -> None:
+        """A Polygon or MultiPolygon."""
+        parts = getattr(geometry, "parts", None)
+        if parts is None:
+            self.add_polygon(geometry, **style)
+        else:
+            for part in parts:
+                self.add_polygon(part, **style)
+
+    def add_box(
+        self, box: Box, stroke: str = "#555555", dash: str = "4 3", stroke_width: float = 1.0
+    ) -> None:
+        x0, y0 = self.to_px(box.xmin, box.ymax)
+        x1, y1 = self.to_px(box.xmax, box.ymin)
+        self._elements.append(
+            f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{x1 - x0:.2f}" '
+            f'height="{y1 - y0:.2f}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" stroke-dasharray="{dash}"/>'
+        )
+
+    def add_cells(
+        self,
+        approx: AprilApproximation,
+        full_fill: str = "#2e7d32",
+        partial_fill: str = "#a5d6a7",
+        opacity: float = 0.45,
+    ) -> None:
+        """APRIL cells: P cells in ``full_fill``, C-only in ``partial_fill``."""
+        grid = approx.grid
+        c_only = approx.c.difference(approx.p)
+        for interval_list, fill in ((approx.p, full_fill), (c_only, partial_fill)):
+            for cell_id in interval_list.iter_cells():
+                col, row = grid.cell_of_hilbert_id(cell_id)
+                cell = grid.cell_box(col, row)
+                x0, y0 = self.to_px(cell.xmin, cell.ymax)
+                x1, y1 = self.to_px(cell.xmax, cell.ymin)
+                self._elements.append(
+                    f'<rect x="{x0:.2f}" y="{y0:.2f}" width="{x1 - x0:.2f}" '
+                    f'height="{y1 - y0:.2f}" fill="{fill}" fill-opacity="{opacity}" '
+                    f'stroke="none"/>'
+                )
+
+    def add_label(self, x: float, y: float, text: str, size_px: int = 14) -> None:
+        px, py = self.to_px(x, y)
+        self._elements.append(
+            f'<text x="{px:.2f}" y="{py:.2f}" font-size="{size_px}" '
+            f'font-family="sans-serif">{_escape(text)}</text>'
+        )
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width_px}" height="{self.height_px}" '
+            f'viewBox="0 0 {self.width_px} {self.height_px}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_string(), encoding="utf-8")
+        return path
+
+
+def render_geometries(
+    geometries: Sequence,
+    labels: Iterable[str] | None = None,
+    width_px: int = 640,
+    show_mbrs: bool = False,
+) -> str:
+    """One SVG with every geometry in a distinct palette colour."""
+    if not geometries:
+        raise ValueError("nothing to render")
+    world = Box.union_all([g.bbox for g in geometries]).expanded(
+        0.05 * max(g.bbox.width + g.bbox.height for g in geometries)
+    )
+    canvas = SvgCanvas(world, width_px=width_px)
+    for k, geometry in enumerate(geometries):
+        fill, stroke = PALETTE[k % len(PALETTE)]
+        canvas.add_geometry(geometry, fill=fill, stroke=stroke)
+        if show_mbrs:
+            canvas.add_box(geometry.bbox)
+    if labels is not None:
+        for geometry, label in zip(geometries, labels):
+            cx, cy = geometry.bbox.center
+            canvas.add_label(cx, cy, label)
+    return canvas.to_string()
+
+
+def render_april(geometry, approx: AprilApproximation, width_px: int = 640) -> str:
+    """Fig. 3-style view: the object over its P (dark) and C (light) cells."""
+    world = geometry.bbox.expanded(0.08 * max(geometry.bbox.width, geometry.bbox.height, 1.0))
+    canvas = SvgCanvas(world, width_px=width_px)
+    canvas.add_cells(approx)
+    canvas.add_geometry(geometry, fill="none", stroke="#1c5f9e", opacity=0.0, stroke_width=2.0)
+    return canvas.to_string()
+
+
+def render_pair(r, s, r_label: str = "r", s_label: str = "s", width_px: int = 640) -> str:
+    """Fig. 9(b)-style view of a candidate pair with MBRs."""
+    svg_geoms = render_geometries([s, r], labels=[s_label, r_label], show_mbrs=True,
+                                  width_px=width_px)
+    return svg_geoms
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+__all__ = ["PALETTE", "SvgCanvas", "render_april", "render_geometries", "render_pair"]

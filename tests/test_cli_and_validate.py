@@ -1,0 +1,157 @@
+"""Tests for the top-level CLI and the validity-report module."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.datasets.io import save_wkt_file
+from repro.datasets.synthetic import generate_blobs
+from repro.geometry import Box, LineString, MultiPolygon, Polygon
+from repro.topology.validate import is_valid_geometry, validity_report
+
+
+@pytest.fixture()
+def wkt_files(tmp_path):
+    rng = np.random.default_rng(13)
+    region = Box(0, 0, 200, 200)
+    r = generate_blobs(rng, 15, region, (5, 30), (8, 30))
+    s = generate_blobs(rng, 15, region, (5, 30), (8, 30))
+    r_path = tmp_path / "r.wkt"
+    s_path = tmp_path / "s.wkt"
+    save_wkt_file(r_path, r)
+    save_wkt_file(s_path, s)
+    return str(r_path), str(s_path)
+
+
+class TestCli:
+    def test_relate(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["relate", r, s]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 15
+        for line in lines:
+            _, code, name = line.split("\t")
+            assert len(code) == 9
+
+    def test_join(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["join", r, s, "--grid-order", "9"]) == 0
+        err = capsys.readouterr().err
+        assert "candidates" in err
+
+    def test_join_predicate(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["join", r, s, "--grid-order", "9", "--predicate", "intersects"]) == 0
+        err = capsys.readouterr().err
+        assert "intersects" in err
+
+    def test_select(self, wkt_files, capsys):
+        r, _ = wkt_files
+        query = "POLYGON ((0 0, 200 0, 200 200, 0 200, 0 0))"
+        assert main(["select", r, "--query", query, "--predicate", "inside",
+                     "--grid-order", "9"]) == 0
+        err = capsys.readouterr().err
+        assert "inside" in err
+
+    def test_approximate(self, wkt_files, tmp_path, capsys):
+        r, _ = wkt_files
+        out = tmp_path / "approx.npz"
+        assert main(["approximate", r, "--out", str(out), "--grid-order", "9"]) == 0
+        assert out.exists()
+        from repro.raster.storage import load_approximations
+
+        assert len(load_approximations(out)) == 15
+
+    def test_stats(self, wkt_files, capsys):
+        r, _ = wkt_files
+        assert main(["stats", r]) == 0
+        out = capsys.readouterr().out
+        assert "geometries:     15" in out
+
+    def test_bad_predicate(self, wkt_files):
+        r, s = wkt_files
+        with pytest.raises(SystemExit):
+            main(["join", r, s, "--predicate", "nearby"])
+
+    def test_predicate_aliases(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["join", r, s, "--grid-order", "9", "--predicate", "covered_by"]) == 0
+
+    def test_datasets_cli_list(self, capsys):
+        from repro.datasets.__main__ import main as datasets_main
+
+        assert datasets_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "TL" in out and "scenarios" in out
+
+    def test_datasets_cli_export_and_stats(self, tmp_path, capsys):
+        from repro.datasets.__main__ import main as datasets_main
+
+        out = tmp_path / "tl.wkt"
+        assert datasets_main(["export", "--dataset", "TL", "--scale", "0.1",
+                              "--out", str(out)]) == 0
+        assert out.exists()
+        assert datasets_main(["stats", "--dataset", "TL", "--scale", "0.1"]) == 0
+        text = capsys.readouterr().out
+        assert "polygons:" in text
+
+
+class TestValidityReport:
+    def test_valid_polygon_empty_report(self):
+        assert validity_report(Polygon.box(0, 0, 10, 10)) == []
+        assert is_valid_geometry(Polygon.box(0, 0, 10, 10))
+
+    def test_bowtie_reported(self):
+        bowtie = Polygon([(0, 0), (4, 4), (4, 0), (0, 4)])
+        issues = validity_report(bowtie)
+        assert any(i.code == "ring-self-intersection" for i in issues)
+        assert not is_valid_geometry(bowtie)
+
+    def test_overlapping_edges_reported(self):
+        spike = Polygon([(0, 0), (8, 0), (4, 0), (4, 5)])
+        issues = validity_report(spike)
+        assert any(i.code in ("ring-overlap", "ring-self-intersection") for i in issues)
+
+    def test_hole_outside_shell(self):
+        bad = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            [[(20, 20), (22, 20), (22, 22), (20, 22)]],
+        )
+        issues = validity_report(bad)
+        assert any(i.code == "hole-outside-shell" for i in issues)
+
+    def test_overlapping_holes(self):
+        bad = Polygon(
+            [(0, 0), (20, 0), (20, 20), (0, 20)],
+            [
+                [(2, 2), (10, 2), (10, 10), (2, 10)],
+                [(5, 5), (15, 5), (15, 15), (5, 15)],
+            ],
+        )
+        issues = validity_report(bad)
+        assert any(i.code == "holes-overlap" for i in issues)
+
+    def test_multipolygon_overlapping_parts(self):
+        bad = MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(5, 5, 15, 15)])
+        issues = validity_report(bad)
+        assert any(i.code == "parts-overlap" for i in issues)
+
+    def test_multipolygon_valid(self):
+        good = MultiPolygon([Polygon.box(0, 0, 5, 5), Polygon.box(10, 10, 15, 15)])
+        assert validity_report(good) == []
+
+    def test_linestring(self):
+        assert validity_report(LineString([(0, 0), (5, 5)])) == []
+        crossing = LineString([(0, 0), (4, 4), (4, 0), (0, 4)])
+        issues = validity_report(crossing)
+        assert issues and issues[0].code == "line-self-intersection"
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            validity_report("nope")
+
+    def test_issue_str(self):
+        bowtie = Polygon([(0, 0), (4, 4), (4, 0), (0, 4)])
+        text = str(validity_report(bowtie)[0])
+        assert "ring-self-intersection" in text

@@ -1,0 +1,77 @@
+"""Tests for topological selection queries (TopologySelection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopologySelection
+from repro.datasets.synthetic import generate_blobs
+from repro.geometry import Box, Polygon
+from repro.topology import TopologicalRelation as T, relate
+from repro.topology.de9im import relation_holds
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(99)
+    polygons = generate_blobs(rng, 60, Box(0, 0, 400, 400), (2, 30), (8, 80))
+    return TopologySelection(polygons, grid_order=10)
+
+
+def brute_force(polygons, query, predicate):
+    return sorted(
+        i
+        for i, p in enumerate(polygons)
+        if relation_holds(relate(p, query), predicate)
+    )
+
+
+QUERIES = [
+    Polygon.box(50, 50, 250, 250),
+    Polygon([(0, 0), (400, 0), (0, 400)]),
+    Polygon.box(390, 390, 420, 420),  # pokes beyond the dataset extent
+]
+
+
+class TestSelect:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize(
+        "predicate",
+        [T.INTERSECTS, T.INSIDE, T.COVERED_BY, T.DISJOINT, T.MEETS, T.CONTAINS],
+    )
+    def test_matches_bruteforce(self, index, query, predicate):
+        got = index.select(query, predicate)
+        want = brute_force(index.polygons, query, predicate)
+        assert got == want, (predicate, got, want)
+
+    def test_disjoint_plus_intersects_partition(self, index):
+        query = QUERIES[0]
+        disjoint = set(index.select(query, T.DISJOINT))
+        intersects = set(index.select(query, T.INTERSECTS))
+        assert disjoint | intersects == set(range(len(index.polygons)))
+        assert not disjoint & intersects
+
+    def test_query_stats_populated(self, index):
+        index.select(QUERIES[0], T.INSIDE)
+        stats = index.last_query_stats
+        assert stats["filtered"] + stats["refined"] == stats["candidates"]
+
+    def test_filter_does_most_of_the_work(self, index):
+        index.select(QUERIES[0], T.INSIDE)
+        stats = index.last_query_stats
+        if stats["candidates"] >= 10:
+            assert stats["filtered"] >= stats["candidates"] * 0.4
+
+    def test_count(self, index):
+        query = QUERIES[0]
+        assert index.count(query, T.INSIDE) == len(index.select(query, T.INSIDE))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySelection([])
+
+    def test_query_identical_to_object(self, index):
+        target = index.polygons[0]
+        got = index.select(target, T.EQUALS)
+        assert 0 in got
+        want = brute_force(index.polygons, target, T.EQUALS)
+        assert got == want

@@ -1,0 +1,134 @@
+"""Tests for the TopologyJoin facade and APRIL persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import JoinResult, TopologyJoin
+from repro.datasets.synthetic import generate_blobs, generate_tessellation
+from repro.geometry import Box, Polygon
+from repro.raster import RasterGrid, build_april
+from repro.raster.storage import load_approximations, save_approximations
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(42)
+    region = Box(0, 0, 300, 300)
+    districts = generate_tessellation(rng, region, 3, 3, edge_points=8)
+    blobs = generate_blobs(rng, 40, region, (2, 25), (8, 60))
+    return districts, blobs
+
+
+class TestTopologyJoin:
+    def test_find_relations_match_ground_truth(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        results = list(join.find_relations(include_disjoint=True))
+        assert len(results) == len(join.candidate_pairs)
+        for link in results[:80]:
+            truth = most_specific_relation(
+                relate(districts[link.r_index], blobs[link.s_index])
+            )
+            assert link.relation is truth
+
+    def test_disjoint_excluded_by_default(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        assert all(
+            r.relation is not T.DISJOINT for r in join.find_relations()
+        )
+
+    def test_pairs_satisfying_predicate(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        inside_pairs = set(join.pairs_satisfying(T.CONTAINS))
+        # Cross-check against find_relations: contains ⊆ covers results.
+        by_relation = {
+            (r.r_index, r.s_index): r.relation for r in join.find_relations()
+        }
+        for pair, relation in by_relation.items():
+            if relation is T.CONTAINS:
+                assert pair in inside_pairs
+            if relation in (T.DISJOINT, T.MEETS, T.INTERSECTS, T.INSIDE):
+                assert pair not in inside_pairs
+
+    def test_stats_methods_agree_on_counts(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        st2 = join.stats("ST2")
+        pc = join.stats("P+C")
+        assert st2.relation_counts == pc.relation_counts
+        assert pc.undetermined_pct <= st2.undetermined_pct
+
+    def test_unknown_method_rejected(self, inputs):
+        districts, blobs = inputs
+        with pytest.raises(KeyError):
+            TopologyJoin(districts, blobs, method="FASTEST")
+
+    def test_empty_inputs_rejected(self, inputs):
+        districts, _ = inputs
+        with pytest.raises(ValueError):
+            TopologyJoin(districts, [])
+
+    def test_preprocessing_roundtrip(self, inputs, tmp_path):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        baseline = {(r.r_index, r.s_index): r.relation for r in join.find_relations()}
+        r_path = tmp_path / "districts.npz"
+        s_path = tmp_path / "blobs.npz"
+        join.save_preprocessing(r_path, s_path)
+
+        reloaded = TopologyJoin(
+            districts, blobs, grid_order=9, preprocessed=(r_path, s_path)
+        )
+        again = {(r.r_index, r.s_index): r.relation for r in reloaded.find_relations()}
+        assert again == baseline
+
+    def test_preprocessed_count_mismatch_rejected(self, inputs, tmp_path):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        r_path = tmp_path / "r.npz"
+        s_path = tmp_path / "s.npz"
+        join.save_preprocessing(r_path, s_path)
+        with pytest.raises(ValueError):
+            TopologyJoin(
+                districts[:-1], blobs, grid_order=9, preprocessed=(r_path, s_path)
+            ).candidate_pairs  # triggers lazy load
+
+    def test_join_result_fields(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9)
+        link = next(iter(join.find_relations()))
+        assert isinstance(link, JoinResult)
+        assert isinstance(link.filtered, bool)
+
+
+class TestStorage:
+    def test_roundtrip_preserves_lists(self, tmp_path):
+        grid = RasterGrid(Box(0, 0, 64, 64), order=8)
+        polys = [
+            Polygon.box(1, 1, 9, 9),
+            Polygon([(20, 20), (30, 22), (25, 31)]),
+            Polygon([(40, 40), (40.2, 40.1), (40.1, 40.3)]),  # empty P list
+        ]
+        approx = [build_april(p, grid) for p in polys]
+        path = tmp_path / "approx.npz"
+        save_approximations(path, approx)
+        back = load_approximations(path)
+        assert len(back) == len(approx)
+        for a, b in zip(approx, back):
+            assert a.p == b.p and a.c == b.c
+            assert b.grid.compatible_with(grid)
+
+    def test_empty_sequence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_approximations(tmp_path / "x.npz", [])
+
+    def test_mixed_grids_rejected(self, tmp_path):
+        g1 = RasterGrid(Box(0, 0, 64, 64), order=8)
+        g2 = RasterGrid(Box(0, 0, 64, 64), order=9)
+        a = build_april(Polygon.box(1, 1, 5, 5), g1)
+        b = build_april(Polygon.box(1, 1, 5, 5), g2)
+        with pytest.raises(ValueError):
+            save_approximations(tmp_path / "x.npz", [a, b])

@@ -1,0 +1,185 @@
+"""Tests for the synthetic generators and the dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    SCENARIOS,
+    blob_polygon,
+    generate_blobs,
+    generate_buildings,
+    generate_tessellation,
+    load_dataset,
+    load_scenario,
+    load_wkt_file,
+    rectilinear_polygon,
+    save_wkt_file,
+)
+from repro.datasets.catalog import REGION
+from repro.geometry import Box, Polygon
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBlobPolygon:
+    def test_vertex_count(self):
+        p = blob_polygon(rng(), 0, 0, 10, 25)
+        assert len(p.shell) == 25
+
+    def test_simple_for_many_vertex_counts(self):
+        r = rng()
+        for n in (3, 8, 50, 300):
+            p = blob_polygon(r, 0, 0, 10, n)
+            assert p.shell.is_simple(), n
+
+    def test_deterministic(self):
+        a = blob_polygon(np.random.default_rng(5), 1, 2, 3, 12)
+        b = blob_polygon(np.random.default_rng(5), 1, 2, 3, 12)
+        assert a == b
+
+    def test_radius_bounds(self):
+        p = blob_polygon(rng(), 0, 0, 10, 40, roughness=0.25)
+        bb = p.bbox
+        assert max(abs(bb.xmin), abs(bb.xmax), abs(bb.ymin), abs(bb.ymax)) < 25
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            blob_polygon(rng(), 0, 0, 1, 2)
+
+
+class TestGenerateBlobs:
+    def test_count_and_region(self):
+        polys = generate_blobs(rng(), 40, REGION, (2, 10), (8, 30))
+        assert len(polys) == 40
+        for p in polys:
+            assert REGION.expanded(20).contains_box(p.bbox)
+
+    def test_hosted_blobs_near_hosts(self):
+        hosts = [Polygon.box(100, 100, 200, 200)]
+        polys = generate_blobs(
+            rng(), 30, REGION, (2, 8), (8, 20), hosts=hosts, hosted_fraction=1.0
+        )
+        for p in polys:
+            c = p.bbox.center
+            assert 60 <= c[0] <= 240 and 60 <= c[1] <= 240
+
+
+class TestBuildings:
+    def test_rectilinear_simple(self):
+        r = rng()
+        for _ in range(30):
+            p = rectilinear_polygon(r, 0, 0, 4, 3)
+            assert p.shell.is_simple()
+            assert 4 <= len(p.shell) <= 6
+
+    def test_notch_reduces_area(self):
+        r = np.random.default_rng(3)
+        full = 12.0
+        seen_notch = False
+        for _ in range(20):
+            p = rectilinear_polygon(r, 0, 0, 4, 3, notch_probability=1.0)
+            assert p.area < full
+            seen_notch = True
+        assert seen_notch
+
+    def test_generate_buildings_count(self):
+        polys = generate_buildings(rng(), 50, REGION, (1, 3))
+        assert len(polys) == 50
+        assert all(p.area > 0 for p in polys)
+
+
+class TestTessellation:
+    def test_cell_count(self):
+        polys = generate_tessellation(rng(), REGION, 5, 4)
+        assert len(polys) == 20
+
+    def test_cells_simple_and_valid(self):
+        for p in generate_tessellation(rng(), REGION, 4, 4, edge_points=6):
+            assert p.shell.is_simple()
+
+    def test_total_area_tiles_region(self):
+        polys = generate_tessellation(rng(), REGION, 6, 5)
+        assert abs(sum(p.area for p in polys) - REGION.area) < 1e-6 * REGION.area
+
+    def test_neighbours_meet(self):
+        polys = generate_tessellation(rng(), REGION, 3, 1, edge_points=3)
+        rel = most_specific_relation(relate(polys[0], polys[1]))
+        assert rel is T.MEETS
+
+    def test_vertex_count_scales_with_edge_points(self):
+        few = generate_tessellation(np.random.default_rng(1), REGION, 2, 2, edge_points=2)
+        many = generate_tessellation(np.random.default_rng(1), REGION, 2, 2, edge_points=30)
+        assert many[0].num_vertices > few[0].num_vertices
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            generate_tessellation(rng(), REGION, 0, 3)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_all_datasets_generate(self, name):
+        ds = load_dataset(name, scale=0.1)
+        assert ds.num_polygons >= 1
+        assert ds.total_vertices >= 3 * ds.num_polygons
+        assert ds.geometry_nbytes == 16 * ds.total_vertices
+        assert ds.mbr_nbytes == 32 * ds.num_polygons
+
+    def test_deterministic_regeneration(self):
+        load_dataset.cache_clear()
+        a = load_dataset("TL", scale=0.2)
+        load_dataset.cache_clear()
+        b = load_dataset("TL", scale=0.2)
+        assert a.polygons == b.polygons
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            load_scenario("NOPE")
+
+    def test_scenarios_reference_known_datasets(self):
+        for r_name, s_name in SCENARIOS.values():
+            assert r_name in DATASETS and s_name in DATASETS
+
+    def test_scenario_structure(self):
+        sc = load_scenario("TL-TW", scale=0.25, grid_order=9)
+        assert sc.r_dataset.name == "TL" and sc.s_dataset.name == "TW"
+        assert len(sc.r_objects) == sc.r_dataset.num_polygons
+        assert all(o.april is not None for o in sc.r_objects)
+        # Every reported pair's MBRs intersect; non-pairs spot check.
+        for i, j in sc.pairs[:50]:
+            assert sc.r_objects[i].box.intersects(sc.s_objects[j].box)
+        assert sc.num_candidates == len(sc.pairs)
+
+
+class TestWktIO:
+    def test_roundtrip(self, tmp_path):
+        polys = generate_blobs(rng(), 10, REGION, (2, 8), (5, 20))
+        path = tmp_path / "blobs.wkt"
+        n = save_wkt_file(path, polys)
+        assert n == 10
+        back = load_wkt_file(path)
+        assert len(back) == 10
+        for a, b in zip(polys, back):
+            assert abs(a.area - b.area) < 1e-6 * max(1.0, a.area)
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "mixed.wkt"
+        path.write_text(
+            "# header\n\nPOLYGON ((0 0, 1 0, 0 1, 0 0))\n  \n# tail\n",
+            encoding="utf-8",
+        )
+        assert len(load_wkt_file(path)) == 1
+
+    def test_error_reports_line(self, tmp_path):
+        path = tmp_path / "bad.wkt"
+        path.write_text("POLYGON ((0 0, 1 0, 0 1, 0 0))\nPOLYGON ((bad))\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="bad.wkt:2"):
+            load_wkt_file(path)

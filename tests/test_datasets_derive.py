@@ -1,0 +1,78 @@
+"""Tests for derived ground-truth datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.derive import KIND_RELATIONS, derive_dataset
+from repro.datasets.synthetic import generate_blobs
+from repro.geometry import Box
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+
+
+@pytest.fixture(scope="module")
+def source():
+    rng = np.random.default_rng(21)
+    return generate_blobs(rng, 60, Box(0, 0, 500, 500), (3, 20), (8, 60))
+
+
+@pytest.fixture(scope="module")
+def derived(source):
+    return derive_dataset(source, seed=3)
+
+
+class TestDerive:
+    def test_one_derived_per_source(self, source, derived):
+        assert len(derived.polygons) == len(source)
+        assert len(derived.kinds) == len(source)
+        assert len(derived.relations) == len(source)
+
+    def test_deterministic(self, source):
+        a = derive_dataset(source, seed=9)
+        b = derive_dataset(source, seed=9)
+        assert a.kinds == b.kinds
+        assert a.polygons == b.polygons
+
+    def test_all_kinds_present(self, derived):
+        assert set(derived.kinds) == set(KIND_RELATIONS)
+
+    def test_relations_verified(self, source, derived):
+        """Stored ground truth must equal a fresh DE-9IM computation."""
+        for k in range(len(source)):
+            truth = most_specific_relation(relate(source[k], derived.polygons[k]))
+            assert derived.expected_relation(k) is truth
+
+    def test_copies_are_equal(self, source, derived):
+        for k, kind in enumerate(derived.kinds):
+            if kind == "copy":
+                assert derived.expected_relation(k) is T.EQUALS
+
+    def test_moved_are_disjoint(self, derived):
+        for k, kind in enumerate(derived.kinds):
+            if kind == "moved":
+                assert derived.expected_relation(k) is T.DISJOINT
+
+    def test_intended_usually_achieved(self, derived):
+        """Shrunk/grown/shifted derivations should land their intended
+        relation for the vast majority of star-shaped sources."""
+        hits = sum(
+            1
+            for k in range(len(derived.kinds))
+            if derived.expected_relation(k) is derived.intended_relation(k)
+        )
+        assert hits >= 0.9 * len(derived.kinds)
+
+    def test_bad_fractions_rejected(self, source):
+        with pytest.raises(ValueError):
+            derive_dataset(source, copy_fraction=0.9, shrunk_fraction=0.5)
+        with pytest.raises(ValueError):
+            derive_dataset(source, copy_fraction=-0.1)
+
+
+class TestInterlinkQualityExperiment:
+    def test_perfect_recall(self):
+        from repro.experiments.interlink_quality import run_interlink_quality
+
+        result = run_interlink_quality(scale=0.2, grid_order=10)
+        assert result.rows
+        for value in result.column("Recall %"):
+            assert value == pytest.approx(100.0)

@@ -1,0 +1,231 @@
+"""Tests for the Fig. 5 intermediate filters (IFEquals/IFInside/...).
+
+Soundness contract: whenever a filter returns a *definite* relation, it
+must equal the ground truth from the DE-9IM engine; whenever it returns
+refinement candidates, the ground-truth relation must be among them.
+"""
+
+import math
+
+import pytest
+
+from repro.filters.intermediate import (
+    IFResult,
+    if_contains,
+    if_equals,
+    if_inside,
+    if_intersects,
+    intermediate_filter,
+)
+from repro.filters.mbr import MBRRelationship as M, classify_mbr_pair
+from repro.geometry import Box, Polygon
+from repro.raster import RasterGrid, build_april
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+
+GRID = RasterGrid(Box(0, 0, 64, 64), order=8)
+
+
+def ap(poly):
+    return build_april(poly, GRID)
+
+
+def truth(r, s):
+    return most_specific_relation(relate(r, s))
+
+
+def check_sound(result: IFResult, r, s):
+    actual = truth(r, s)
+    if result.definite is not None:
+        assert result.definite is actual, (result.definite, actual)
+    else:
+        assert actual in result.refine_candidates, (actual, result.refine_candidates)
+
+
+class TestIFResult:
+    def test_requires_exactly_one_field(self):
+        with pytest.raises(ValueError):
+            IFResult()
+        with pytest.raises(ValueError):
+            IFResult(definite=T.DISJOINT, refine_candidates=(T.MEETS,))
+
+    def test_needs_refinement(self):
+        assert not IFResult(definite=T.DISJOINT).needs_refinement
+        assert IFResult(refine_candidates=(T.MEETS,)).needs_refinement
+
+
+class TestIFEquals:
+    def test_equal_polygons_forwarded_to_refinement(self):
+        r = Polygon.box(10, 10, 20, 20)
+        s = Polygon.box(10, 10, 20, 20)
+        res = if_equals(ap(r), ap(s))
+        assert res.needs_refinement
+        assert T.EQUALS in res.refine_candidates
+        check_sound(res, r, s)
+
+    def test_covered_by_same_mbr(self):
+        # Same MBR; r is s minus a bite out of the middle of one side
+        # region: use a polygon with a notch so C lists differ.
+        s = Polygon.box(10, 10, 30, 30)
+        r = Polygon(
+            [(10, 10), (30, 10), (30, 30), (10, 30), (10, 24), (16, 20), (10, 16)]
+        )
+        assert classify_mbr_pair(r.bbox, s.bbox) is M.EQUAL
+        res = if_equals(ap(r), ap(s))
+        check_sound(res, r, s)
+
+    def test_diagonal_strips_same_mbr(self):
+        # Two thin diagonal strips sharing an MBR but meeting only nearly.
+        r = Polygon([(0, 0), (40, 36), (40, 40), (36, 40)])
+        s = Polygon([(40, 0), (4, 40), (0, 40), (0, 36), (36, 0)])
+        assert r.bbox == s.bbox
+        res = if_equals(ap(r), ap(s))
+        check_sound(res, r, s)
+
+    def test_covers_same_mbr(self):
+        r = Polygon.box(10, 10, 30, 30)
+        s = Polygon([(10, 10), (30, 10), (30, 30), (10, 30), (10, 24), (16, 20), (10, 16)])
+        res = if_equals(ap(r), ap(s))
+        check_sound(res, r, s)
+
+
+class TestIFInside:
+    def test_disjoint_definite(self):
+        r = Polygon.box(20, 20, 24, 24)
+        s = Polygon(
+            [(10, 10), (40, 10), (40, 40), (10, 40)], [[(14, 14), (36, 14), (36, 36), (14, 36)]]
+        )
+        # r sits in s's hole; MBR(r) inside MBR(s).
+        assert classify_mbr_pair(r.bbox, s.bbox) is M.R_INSIDE_S
+        res = if_inside(ap(r), ap(s))
+        assert res.definite is T.DISJOINT
+        check_sound(res, r, s)
+
+    def test_inside_definite(self):
+        r = Polygon.box(20, 20, 30, 30)
+        s = Polygon.box(10, 10, 40, 40)
+        res = if_inside(ap(r), ap(s))
+        assert res.definite is T.INSIDE
+        check_sound(res, r, s)
+
+    def test_covered_by_needs_refinement(self):
+        r = Polygon.box(10, 20, 30, 30)  # touches s's left edge
+        s = Polygon.box(10, 10, 40, 40)
+        assert classify_mbr_pair(r.bbox, s.bbox) is M.R_INSIDE_S
+        res = if_inside(ap(r), ap(s))
+        check_sound(res, r, s)
+
+    def test_partial_overlap_intersects_definite(self):
+        # MBR(r) inside MBR(s) but r pokes out of s itself.
+        s = Polygon([(10, 10), (40, 10), (40, 40)])  # lower-right triangle
+        r = Polygon.box(15, 15, 25, 25)  # crosses the hypotenuse
+        assert classify_mbr_pair(r.bbox, s.bbox) is M.R_INSIDE_S
+        res = if_inside(ap(r), ap(s))
+        assert res.definite is T.INTERSECTS
+        check_sound(res, r, s)
+
+    def test_meets_needs_refinement(self):
+        s = Polygon([(10, 10), (40, 10), (40, 40)])
+        r = Polygon([(20, 15), (30, 15), (30, 5), (20, 5)])  # unclear from rasters
+        if classify_mbr_pair(r.bbox, s.bbox) is M.R_INSIDE_S:
+            res = if_inside(ap(r), ap(s))
+            check_sound(res, r, s)
+
+    def test_thin_object_no_p_cells(self):
+        r = Polygon([(20, 20), (20.2, 20.1), (20.1, 20.3)])  # sub-cell sliver
+        s = Polygon.box(10, 10, 40, 40)
+        res = if_inside(ap(r), ap(s))
+        check_sound(res, r, s)
+
+
+class TestIFContains:
+    def test_mirror_of_inside(self):
+        r = Polygon.box(10, 10, 40, 40)
+        s = Polygon.box(20, 20, 30, 30)
+        res = if_contains(ap(r), ap(s))
+        assert res.definite is T.CONTAINS
+        check_sound(res, r, s)
+
+    def test_disjoint_definite(self):
+        r = Polygon(
+            [(10, 10), (40, 10), (40, 40), (10, 40)], [[(14, 14), (36, 14), (36, 36), (14, 36)]]
+        )
+        s = Polygon.box(20, 20, 24, 24)
+        res = if_contains(ap(r), ap(s))
+        assert res.definite is T.DISJOINT
+
+    def test_covers_refinement_candidates_mirrored(self):
+        r = Polygon.box(10, 10, 40, 40)
+        s = Polygon.box(10, 20, 30, 30)
+        res = if_contains(ap(r), ap(s))
+        check_sound(res, r, s)
+        if res.needs_refinement:
+            assert all(c in (T.DISJOINT, T.CONTAINS, T.COVERS, T.MEETS, T.INTERSECTS)
+                       for c in res.refine_candidates)
+
+
+class TestIFIntersects:
+    def test_disjoint_definite(self):
+        r = Polygon([(10, 10), (30, 10), (10, 30)])
+        s = Polygon([(28, 28), (50, 28), (50, 46)])
+        assert classify_mbr_pair(r.bbox, s.bbox) is M.OVERLAP
+        res = if_intersects(ap(r), ap(s))
+        assert res.definite is T.DISJOINT
+
+    def test_intersects_definite(self):
+        r = Polygon.box(10, 10, 30, 30)
+        s = Polygon.box(20, 20, 40, 40)
+        res = if_intersects(ap(r), ap(s))
+        assert res.definite is T.INTERSECTS
+        check_sound(res, r, s)
+
+    def test_meets_needs_refinement(self):
+        r = Polygon.box(10, 10, 30, 30)
+        s = Polygon.box(30, 10, 50, 30)  # shares edge x=30
+        res = if_intersects(ap(r), ap(s))
+        assert res.needs_refinement
+        assert T.MEETS in res.refine_candidates
+        check_sound(res, r, s)
+
+
+class TestDispatcher:
+    def test_mbr_disjoint(self):
+        res = intermediate_filter(M.DISJOINT, None, None)
+        assert res.definite is T.DISJOINT
+
+    def test_mbr_cross(self):
+        res = intermediate_filter(M.CROSS, None, None)
+        assert res.definite is T.INTERSECTS
+
+    def test_cross_pair_end_to_end(self):
+        tall = Polygon.box(20, 5, 25, 55)
+        wide = Polygon.box(5, 20, 55, 25)
+        case = classify_mbr_pair(tall.bbox, wide.bbox)
+        assert case is M.CROSS
+        res = intermediate_filter(case, ap(tall), ap(wide))
+        assert res.definite is T.INTERSECTS
+        assert truth(tall, wide) is T.INTERSECTS
+
+    @pytest.mark.parametrize(
+        "case",
+        [M.EQUAL, M.R_INSIDE_S, M.R_CONTAINS_S, M.OVERLAP],
+    )
+    def test_dispatch_reaches_correct_filter(self, case):
+        geoms = {
+            M.EQUAL: (Polygon.box(10, 10, 20, 20), Polygon.box(10, 10, 20, 20)),
+            M.R_INSIDE_S: (Polygon.box(12, 12, 18, 18), Polygon.box(10, 10, 20, 20)),
+            M.R_CONTAINS_S: (Polygon.box(10, 10, 20, 20), Polygon.box(12, 12, 18, 18)),
+            M.OVERLAP: (Polygon.box(10, 10, 20, 20), Polygon.box(15, 15, 25, 25)),
+        }
+        r, s = geoms[case]
+        assert classify_mbr_pair(r.bbox, s.bbox) is case
+        res = intermediate_filter(case, ap(r), ap(s))
+        check_sound(res, r, s)
+
+
+class TestGridMismatch:
+    def test_incompatible_grids_rejected(self):
+        other = RasterGrid(Box(0, 0, 64, 64), order=7)
+        r = build_april(Polygon.box(10, 10, 20, 20), GRID)
+        s = build_april(Polygon.box(10, 10, 20, 20), other)
+        with pytest.raises(ValueError):
+            if_equals(r, s)

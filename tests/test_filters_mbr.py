@@ -1,0 +1,80 @@
+"""Unit tests for the enhanced MBR filter (Sec. 3.1 / Fig. 4)."""
+
+import pytest
+
+from repro.filters.mbr import (
+    MBR_CANDIDATES,
+    MBRRelationship as M,
+    classify_mbr_pair,
+    mbr_candidates,
+)
+from repro.geometry import Box
+from repro.topology.de9im import TopologicalRelation as T
+
+
+class TestClassification:
+    def test_disjoint(self):
+        assert classify_mbr_pair(Box(0, 0, 1, 1), Box(5, 5, 6, 6)) is M.DISJOINT
+
+    def test_equal(self):
+        assert classify_mbr_pair(Box(0, 0, 4, 4), Box(0, 0, 4, 4)) is M.EQUAL
+
+    def test_r_inside_s(self):
+        assert classify_mbr_pair(Box(1, 1, 3, 3), Box(0, 0, 4, 4)) is M.R_INSIDE_S
+
+    def test_r_inside_s_touching_border(self):
+        assert classify_mbr_pair(Box(0, 1, 3, 3), Box(0, 0, 4, 4)) is M.R_INSIDE_S
+
+    def test_r_contains_s(self):
+        assert classify_mbr_pair(Box(0, 0, 4, 4), Box(1, 1, 3, 3)) is M.R_CONTAINS_S
+
+    def test_cross(self):
+        tall = Box(4, 0, 6, 10)
+        wide = Box(0, 4, 10, 6)
+        assert classify_mbr_pair(tall, wide) is M.CROSS
+        assert classify_mbr_pair(wide, tall) is M.CROSS
+
+    def test_overlap_partial(self):
+        assert classify_mbr_pair(Box(0, 0, 4, 4), Box(2, 2, 6, 6)) is M.OVERLAP
+
+    def test_overlap_edge_touch(self):
+        assert classify_mbr_pair(Box(0, 0, 4, 4), Box(4, 0, 8, 4)) is M.OVERLAP
+
+    def test_overlap_corner_touch(self):
+        assert classify_mbr_pair(Box(0, 0, 4, 4), Box(4, 4, 8, 8)) is M.OVERLAP
+
+    def test_equal_wins_over_containment(self):
+        # Equal boxes satisfy contains_box both ways; EQUAL must win.
+        b = Box(1, 2, 3, 4)
+        assert classify_mbr_pair(b, Box(1, 2, 3, 4)) is M.EQUAL
+
+
+class TestCandidates:
+    def test_all_cases_have_candidates(self):
+        assert set(MBR_CANDIDATES) == set(M)
+
+    def test_disjoint_candidates(self):
+        assert mbr_candidates(Box(0, 0, 1, 1), Box(5, 5, 6, 6)) == (T.DISJOINT,)
+
+    def test_equal_candidates_exclude_disjoint_and_containment(self):
+        cands = MBR_CANDIDATES[M.EQUAL]
+        assert T.DISJOINT not in cands
+        assert T.INSIDE not in cands and T.CONTAINS not in cands
+        assert T.EQUALS in cands and T.MEETS in cands
+
+    def test_inside_candidates(self):
+        cands = MBR_CANDIDATES[M.R_INSIDE_S]
+        assert T.INSIDE in cands and T.COVERED_BY in cands
+        assert T.CONTAINS not in cands and T.COVERS not in cands
+        assert T.EQUALS not in cands
+
+    def test_contains_candidates_mirror_inside(self):
+        inside = set(MBR_CANDIDATES[M.R_INSIDE_S])
+        contains = set(MBR_CANDIDATES[M.R_CONTAINS_S])
+        assert contains == {c.inverse for c in inside}
+
+    def test_cross_single_definite(self):
+        assert MBR_CANDIDATES[M.CROSS] == (T.INTERSECTS,)
+
+    def test_overlap_candidates(self):
+        assert set(MBR_CANDIDATES[M.OVERLAP]) == {T.DISJOINT, T.MEETS, T.INTERSECTS}

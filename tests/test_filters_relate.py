@@ -1,0 +1,180 @@
+"""Tests for the relate_p predicate filters (Sec. 3.3 / Fig. 6).
+
+Soundness contract: YES/NO verdicts must agree with DE-9IM ground
+truth; UNKNOWN is always allowed.
+"""
+
+import pytest
+
+from repro.filters.relate_filters import RelateVerdict as V, relate_filter
+from repro.geometry import Box, Polygon
+from repro.raster import RasterGrid, build_april
+from repro.topology import TopologicalRelation as T, relate
+from repro.topology.de9im import relation_holds
+
+GRID = RasterGrid(Box(0, 0, 64, 64), order=8)
+
+
+def verdict(predicate, r, s):
+    return relate_filter(predicate, r.bbox, s.bbox, build_april(r, GRID), build_april(s, GRID))
+
+
+def check_sound(predicate, r, s):
+    v = verdict(predicate, r, s)
+    if v is V.UNKNOWN:
+        return v
+    holds = relation_holds(relate(r, s), predicate)
+    assert (v is V.YES) == holds, (predicate, v, holds)
+    return v
+
+
+SQUARE = Polygon.box(10, 10, 30, 30)
+
+
+class TestEquals:
+    def test_different_mbrs_no(self):
+        assert verdict(T.EQUALS, SQUARE, Polygon.box(10, 10, 31, 30)) is V.NO
+
+    def test_same_raster_unknown(self):
+        assert verdict(T.EQUALS, SQUARE, Polygon.box(10, 10, 30, 30)) is V.UNKNOWN
+
+    def test_same_mbr_different_shape_no(self):
+        notched = Polygon(
+            [(10, 10), (30, 10), (30, 30), (10, 30), (10, 24), (16, 20), (10, 16)]
+        )
+        assert verdict(T.EQUALS, SQUARE, notched) is V.NO
+
+    @pytest.mark.parametrize(
+        "other",
+        [Polygon.box(10, 10, 30, 30), Polygon.box(12, 12, 28, 28), Polygon.box(40, 40, 50, 50)],
+    )
+    def test_soundness(self, other):
+        check_sound(T.EQUALS, SQUARE, other)
+
+
+class TestInsideCoveredBy:
+    def test_inside_yes(self):
+        assert verdict(T.INSIDE, Polygon.box(15, 15, 25, 25), SQUARE) is V.YES
+
+    def test_inside_not_contained_no(self):
+        assert verdict(T.INSIDE, Polygon.box(5, 15, 25, 25), SQUARE) is V.NO
+
+    def test_inside_equal_mbr_no(self):
+        assert verdict(T.INSIDE, Polygon.box(10, 10, 30, 30), SQUARE) is V.NO
+
+    def test_inside_touching_mbr_border_no(self):
+        # Touch-free inside demands a strictly interior MBR.
+        assert verdict(T.INSIDE, Polygon.box(10, 15, 25, 25), SQUARE) is V.NO
+
+    def test_covered_by_touching_border_possible(self):
+        v = verdict(T.COVERED_BY, Polygon.box(10, 15, 25, 25), SQUARE)
+        assert v in (V.YES, V.UNKNOWN)
+        check_sound(T.COVERED_BY, Polygon.box(10, 15, 25, 25), SQUARE)
+
+    def test_covered_by_equal_mbr(self):
+        check_sound(T.COVERED_BY, Polygon.box(10, 10, 30, 30), SQUARE)
+
+    def test_soundness_triangle_in_square(self):
+        check_sound(T.INSIDE, Polygon([(15, 15), (25, 15), (20, 24)]), SQUARE)
+
+
+class TestContainsCovers:
+    def test_contains_yes(self):
+        assert verdict(T.CONTAINS, SQUARE, Polygon.box(15, 15, 25, 25)) is V.YES
+
+    def test_contains_mirrors_inside(self):
+        r, s = SQUARE, Polygon.box(15, 15, 25, 25)
+        assert verdict(T.CONTAINS, r, s) == verdict(T.INSIDE, s, r)
+
+    def test_covers_mirrors_covered_by(self):
+        r, s = SQUARE, Polygon.box(10, 15, 25, 25)
+        assert verdict(T.COVERS, r, s) == verdict(T.COVERED_BY, s, r)
+
+    def test_contains_no_when_poking_out(self):
+        assert verdict(T.CONTAINS, SQUARE, Polygon.box(25, 25, 35, 35)) is V.NO
+
+
+class TestMeets:
+    def test_disjoint_mbrs_no(self):
+        assert verdict(T.MEETS, SQUARE, Polygon.box(40, 40, 50, 50)) is V.NO
+
+    def test_cross_mbrs_no(self):
+        tall = Polygon.box(18, 5, 22, 55)
+        wide = Polygon.box(5, 18, 55, 22)
+        assert verdict(T.MEETS, tall, wide) is V.NO
+
+    def test_interior_overlap_no(self):
+        assert verdict(T.MEETS, SQUARE, Polygon.box(20, 20, 40, 40)) is V.NO
+
+    def test_far_apart_in_shared_mbr_region_no(self):
+        a = Polygon([(10, 10), (20, 10), (10, 20)])
+        b = Polygon([(30, 30), (30, 20), (20, 30)])
+        v = verdict(T.MEETS, a, b)
+        assert v is V.NO  # C lists do not even overlap
+
+    def test_shared_edge_unknown(self):
+        v = verdict(T.MEETS, SQUARE, Polygon.box(30, 10, 50, 30))
+        assert v is V.UNKNOWN  # only refinement can confirm a pure touch
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            Polygon.box(30, 10, 50, 30),
+            Polygon.box(29, 10, 50, 30),
+            Polygon.box(31, 10, 50, 30),
+        ],
+    )
+    def test_soundness(self, other):
+        check_sound(T.MEETS, SQUARE, other)
+
+
+class TestDisjointIntersects:
+    def test_disjoint_mbr_yes(self):
+        assert verdict(T.DISJOINT, SQUARE, Polygon.box(40, 40, 50, 50)) is V.YES
+
+    def test_equal_mbr_no(self):
+        # Two shapes with the same MBR always intersect.
+        assert verdict(T.DISJOINT, SQUARE, Polygon.box(10, 10, 30, 30)) is V.NO
+
+    def test_cross_mbr_no(self):
+        tall = Polygon.box(18, 5, 22, 55)
+        wide = Polygon.box(5, 18, 55, 22)
+        assert verdict(T.DISJOINT, tall, wide) is V.NO
+
+    def test_interior_overlap_no(self):
+        assert verdict(T.DISJOINT, SQUARE, Polygon.box(20, 20, 40, 40)) is V.NO
+
+    def test_intersects_is_negation(self):
+        pairs = [
+            (SQUARE, Polygon.box(40, 40, 50, 50)),
+            (SQUARE, Polygon.box(20, 20, 40, 40)),
+            (SQUARE, Polygon.box(30, 10, 50, 30)),
+        ]
+        for r, s in pairs:
+            d = verdict(T.DISJOINT, r, s)
+            i = verdict(T.INTERSECTS, r, s)
+            if d is V.UNKNOWN:
+                assert i is V.UNKNOWN
+            else:
+                assert (d is V.YES) == (i is V.NO)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            Polygon.box(40, 40, 50, 50),
+            Polygon.box(20, 20, 40, 40),
+            Polygon.box(30, 10, 50, 30),
+            Polygon([(30, 30), (40, 30), (30, 40)]),
+        ],
+    )
+    def test_soundness_both(self, other):
+        check_sound(T.DISJOINT, SQUARE, other)
+        check_sound(T.INTERSECTS, SQUARE, other)
+
+
+class TestAllPredicatesSupported:
+    @pytest.mark.parametrize("predicate", list(T))
+    def test_runs_for_every_predicate(self, predicate):
+        v = verdict(predicate, SQUARE, Polygon.box(15, 15, 25, 25))
+        assert v in (V.YES, V.NO, V.UNKNOWN)
+        check_sound(predicate, SQUARE, Polygon.box(15, 15, 25, 25))

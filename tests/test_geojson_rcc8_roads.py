@@ -1,0 +1,150 @@
+"""Tests for GeoJSON IO, RCC8 mapping, and the road generator."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.geojson import (
+    Feature,
+    GeoJsonError,
+    geometry_from_geojson,
+    geometry_to_geojson,
+    load_geojson,
+    save_geojson,
+)
+from repro.datasets.synthetic import generate_roads
+from repro.geometry import Box, LineString, MultiPolygon, Polygon
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+from repro.topology.rcc8 import (
+    RCC8,
+    TO_RCC8,
+    rcc8_of_matrix,
+    rcc8_to_relation,
+    relation_to_rcc8,
+)
+
+DONUT = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)], [[(3, 3), (7, 3), (7, 7), (3, 7)]])
+
+
+class TestGeoJson:
+    def test_polygon_roundtrip(self):
+        obj = geometry_to_geojson(DONUT)
+        assert obj["type"] == "Polygon"
+        assert len(obj["coordinates"]) == 2  # shell + hole
+        back = geometry_from_geojson(obj)
+        assert back == DONUT
+
+    def test_multipolygon_roundtrip(self):
+        multi = MultiPolygon([Polygon.box(0, 0, 2, 2), Polygon.box(5, 5, 7, 7)])
+        back = geometry_from_geojson(geometry_to_geojson(multi))
+        assert back == multi
+
+    def test_linestring_roundtrip(self):
+        line = LineString([(0, 0), (5, 5), (10, 0)])
+        back = geometry_from_geojson(geometry_to_geojson(line))
+        assert back == line
+
+    def test_point_roundtrip(self):
+        back = geometry_from_geojson(geometry_to_geojson((3.0, 4.0)))
+        assert back == (3.0, 4.0)
+
+    def test_feature_collection_file_roundtrip(self, tmp_path):
+        path = tmp_path / "data.geojson"
+        n = save_geojson(
+            path,
+            [Feature(DONUT, {"name": "donut"}), LineString([(0, 0), (1, 1)])],
+            indent=2,
+        )
+        assert n == 2
+        features = load_geojson(path)
+        assert len(features) == 2
+        assert features[0].geometry == DONUT
+        assert features[0].properties == {"name": "donut"}
+        assert isinstance(features[1].geometry, LineString)
+
+    def test_load_bare_geometry_dict(self):
+        features = load_geojson({"type": "Point", "coordinates": [1, 2]})
+        assert features[0].geometry == (1.0, 2.0)
+
+    def test_load_json_string(self):
+        doc = json.dumps({"type": "Feature", "geometry": {"type": "Point", "coordinates": [1, 2]},
+                          "properties": {"k": 1}})
+        features = load_geojson(doc)
+        assert features[0].properties == {"k": 1}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"type": "GeometryCollection", "geometries": []},
+            {"type": "Polygon"},
+            {"type": "Polygon", "coordinates": []},
+            {"coordinates": [1, 2]},
+        ],
+    )
+    def test_bad_geometry_rejected(self, bad):
+        with pytest.raises(GeoJsonError):
+            geometry_from_geojson(bad)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GeoJsonError):
+            load_geojson("{not json")
+
+
+class TestRCC8:
+    def test_bijection(self):
+        assert len(TO_RCC8) == 8
+        assert len({v for v in TO_RCC8.values()}) == 8
+        for relation, rcc in TO_RCC8.items():
+            assert rcc8_to_relation(rcc) is relation
+
+    @pytest.mark.parametrize(
+        "r,s,expected",
+        [
+            (Polygon.box(0, 0, 5, 5), Polygon.box(10, 10, 15, 15), RCC8.DC),
+            (Polygon.box(0, 0, 5, 5), Polygon.box(5, 0, 10, 5), RCC8.EC),
+            (Polygon.box(0, 0, 5, 5), Polygon.box(3, 3, 8, 8), RCC8.PO),
+            (Polygon.box(0, 1, 3, 4), Polygon.box(0, 0, 5, 5), RCC8.TPP),
+            (Polygon.box(1, 1, 3, 3), Polygon.box(0, 0, 5, 5), RCC8.NTPP),
+            (Polygon.box(0, 0, 5, 5), Polygon.box(0, 1, 3, 4), RCC8.TPPI),
+            (Polygon.box(0, 0, 5, 5), Polygon.box(1, 1, 3, 3), RCC8.NTPPI),
+            (Polygon.box(0, 0, 5, 5), Polygon.box(0, 0, 5, 5), RCC8.EQ),
+        ],
+    )
+    def test_geometric_cases(self, r, s, expected):
+        assert rcc8_of_matrix(relate(r, s)) is expected
+
+    def test_inverses(self):
+        assert RCC8.TPP.inverse is RCC8.TPPI
+        assert RCC8.NTPPI.inverse is RCC8.NTPP
+        assert RCC8.EQ.inverse is RCC8.EQ
+        for rcc in RCC8:
+            assert rcc.inverse.inverse is rcc
+
+    def test_inverse_consistent_with_relations(self):
+        for relation, rcc in TO_RCC8.items():
+            assert relation_to_rcc8(relation.inverse) is rcc.inverse
+
+
+class TestRoadGenerator:
+    def test_count_and_region(self):
+        rng = np.random.default_rng(5)
+        region = Box(0, 0, 200, 200)
+        roads = generate_roads(rng, 25, region)
+        assert len(roads) == 25
+        for road in roads:
+            assert region.contains_box(road.bbox)
+            assert road.num_vertices >= 2
+
+    def test_deterministic(self):
+        region = Box(0, 0, 100, 100)
+        a = generate_roads(np.random.default_rng(7), 10, region)
+        b = generate_roads(np.random.default_rng(7), 10, region)
+        assert a == b
+
+    def test_lengths_in_range(self):
+        rng = np.random.default_rng(9)
+        roads = generate_roads(rng, 20, Box(0, 0, 1000, 1000), length_range=(50, 100))
+        for road in roads:
+            # Clamping at the border can shorten but never lengthen.
+            assert road.length <= 100 + 1e-9

@@ -1,0 +1,128 @@
+"""Unit tests for the Box (MBR) type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Box
+
+
+def boxes(lo=-100, hi=100):
+    return st.builds(
+        lambda x1, y1, w, h: Box(x1, y1, x1 + w, y1 + h),
+        st.integers(lo, hi),
+        st.integers(lo, hi),
+        st.integers(0, 50),
+        st.integers(0, 50),
+    )
+
+
+class TestConstruction:
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            Box(1, 0, 0, 1)
+
+    def test_degenerate_allowed(self):
+        b = Box(1, 2, 1, 2)
+        assert b.area == 0
+
+    def test_from_points(self):
+        b = Box.from_points([(1, 5), (-2, 3), (4, 0)])
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (-2, 0, 4, 5)
+
+    def test_from_points_empty(self):
+        with pytest.raises(ValueError):
+            Box.from_points([])
+
+    def test_union_all(self):
+        b = Box.union_all([Box(0, 0, 1, 1), Box(5, -1, 6, 0.5)])
+        assert (b.xmin, b.ymin, b.xmax, b.ymax) == (0, -1, 6, 1)
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        assert Box(0, 0, 4, 4).intersects(Box(2, 2, 6, 6))
+
+    def test_intersects_touch_edge(self):
+        assert Box(0, 0, 4, 4).intersects(Box(4, 0, 8, 4))
+
+    def test_intersects_touch_corner(self):
+        assert Box(0, 0, 4, 4).intersects(Box(4, 4, 8, 8))
+
+    def test_disjoint(self):
+        assert Box(0, 0, 1, 1).disjoint(Box(2, 2, 3, 3))
+
+    def test_contains_box(self):
+        assert Box(0, 0, 10, 10).contains_box(Box(2, 2, 5, 5))
+        assert Box(0, 0, 10, 10).contains_box(Box(0, 0, 10, 10))
+
+    def test_strictly_contains_box(self):
+        assert Box(0, 0, 10, 10).strictly_contains_box(Box(2, 2, 5, 5))
+        assert not Box(0, 0, 10, 10).strictly_contains_box(Box(0, 2, 5, 5))
+
+    def test_contains_point_boundary(self):
+        assert Box(0, 0, 1, 1).contains_point(0, 0.5)
+
+    def test_crosses_plus_sign(self):
+        tall = Box(4, 0, 6, 10)
+        wide = Box(0, 4, 10, 6)
+        assert tall.crosses(wide)
+        assert wide.crosses(tall)
+
+    def test_crosses_rejects_containment(self):
+        assert not Box(0, 0, 10, 10).crosses(Box(2, 2, 5, 5))
+
+    def test_crosses_rejects_partial_overlap(self):
+        assert not Box(0, 0, 5, 5).crosses(Box(3, 3, 8, 8))
+
+    def test_crosses_rejects_nonstrict(self):
+        tall = Box(4, 0, 6, 10)
+        wide = Box(4, 4, 10, 6)  # shares xmin with tall
+        assert not tall.crosses(wide)
+
+
+class TestOperations:
+    def test_intersection(self):
+        got = Box(0, 0, 4, 4).intersection(Box(2, 2, 6, 6))
+        assert got == Box(2, 2, 4, 4)
+
+    def test_intersection_disjoint(self):
+        assert Box(0, 0, 1, 1).intersection(Box(5, 5, 6, 6)) is None
+
+    def test_expanded(self):
+        assert Box(0, 0, 2, 2).expanded(1) == Box(-1, -1, 3, 3)
+
+    def test_translated(self):
+        assert Box(0, 0, 2, 2).translated(1, -1) == Box(1, -1, 3, 1)
+
+    def test_corners_ccw(self):
+        assert list(Box(0, 0, 1, 2).corners()) == [(0, 0), (1, 0), (1, 2), (0, 2)]
+
+    def test_measures(self):
+        b = Box(1, 2, 4, 8)
+        assert b.width == 3 and b.height == 6 and b.area == 18
+        assert b.center == (2.5, 5.0)
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(boxes(), boxes())
+    def test_intersection_consistent(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains_box(inter) and b.contains_box(inter)
+
+    @given(boxes(), boxes())
+    def test_containment_implies_intersection(self, a, b):
+        if a.contains_box(b):
+            assert a.intersects(b)
+
+    @given(boxes(), boxes())
+    def test_crosses_implies_intersects_and_no_containment(self, a, b):
+        if a.crosses(b):
+            assert a.intersects(b)
+            assert not a.contains_box(b) and not b.contains_box(a)

@@ -1,0 +1,160 @@
+"""Tests for MultiPolygon geometry and its pipeline integration.
+
+The adversarial cases here are exactly the ones where connected-shape
+shortcuts would be unsound: multipolygons with equal MBRs that are
+disjoint, and crossing MBRs without intersection.
+"""
+
+import pytest
+
+from repro.geometry import Box, Location, MultiPolygon, Polygon, dumps_wkt, loads_wkt_geometry
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import PIPELINES, relate_predicate
+from repro.raster import RasterGrid, build_april
+from repro.topology import (
+    TopologicalRelation as T,
+    most_specific_relation,
+    relate,
+)
+
+GRID = RasterGrid(Box(0, 0, 64, 64), order=8)
+
+# Two interleaved multipolygons sharing the exact MBR [0,30]x[0,30]
+# while being disjoint: corners LL+UR vs corners UL+LR.
+INTERLEAVED_A = MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(20, 20, 30, 30)])
+INTERLEAVED_B = MultiPolygon([Polygon.box(0, 20, 10, 30), Polygon.box(20, 0, 30, 10)])
+
+# Crossing MBRs (plus-sign) without intersection: the "tall" shape is
+# two far-apart squares, the "wide" shape two far-apart squares.
+CROSS_TALL = MultiPolygon([Polygon.box(25, 0, 35, 8), Polygon.box(25, 52, 35, 60)])
+CROSS_WIDE = MultiPolygon([Polygon.box(0, 25, 8, 35), Polygon.box(52, 25, 60, 35)])
+
+
+def obj(oid, geometry):
+    return SpatialObject.from_polygon(oid, geometry, GRID)
+
+
+class TestGeometry:
+    def test_needs_parts(self):
+        with pytest.raises(ValueError):
+            MultiPolygon([])
+
+    def test_measures(self):
+        assert INTERLEAVED_A.area == 200
+        assert INTERLEAVED_A.num_vertices == 8
+        assert INTERLEAVED_A.bbox == Box(0, 0, 30, 30)
+        assert not INTERLEAVED_A.is_connected
+        assert MultiPolygon([Polygon.box(0, 0, 1, 1)]).is_connected
+
+    def test_locate(self):
+        assert INTERLEAVED_A.locate((5, 5)) is Location.INTERIOR
+        assert INTERLEAVED_A.locate((25, 25)) is Location.INTERIOR
+        assert INTERLEAVED_A.locate((15, 15)) is Location.EXTERIOR
+        assert INTERLEAVED_A.locate((10, 5)) is Location.BOUNDARY
+
+    def test_representative_points_one_per_part(self):
+        points = list(INTERLEAVED_A.representative_points())
+        assert len(points) == 2
+        assert all(INTERLEAVED_A.locate(p) is Location.INTERIOR for p in points)
+
+    def test_is_valid(self):
+        assert INTERLEAVED_A.is_valid()
+        overlapping = MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(5, 5, 15, 15)])
+        assert not overlapping.is_valid()
+
+    def test_transforms(self):
+        moved = INTERLEAVED_A.translated(5, 5)
+        assert moved.bbox == Box(5, 5, 35, 35)
+        assert abs(INTERLEAVED_A.scaled(2.0).area - 800) < 1e-9
+
+    def test_wkt_roundtrip(self):
+        text = dumps_wkt(INTERLEAVED_A)
+        assert text.startswith("MULTIPOLYGON")
+        back = loads_wkt_geometry(text)
+        assert isinstance(back, MultiPolygon)
+        assert back == INTERLEAVED_A
+
+    def test_loads_polygon_geometry(self):
+        geom = loads_wkt_geometry("POLYGON ((0 0, 1 0, 0 1, 0 0))")
+        assert isinstance(geom, Polygon)
+
+
+class TestRelateWithMultipolygons:
+    def test_interleaved_equal_mbr_disjoint(self):
+        assert most_specific_relation(relate(INTERLEAVED_A, INTERLEAVED_B)) is T.DISJOINT
+
+    def test_crossing_mbrs_disjoint(self):
+        assert most_specific_relation(relate(CROSS_TALL, CROSS_WIDE)) is T.DISJOINT
+
+    def test_multi_equals_itself(self):
+        other = MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(20, 20, 30, 30)])
+        assert most_specific_relation(relate(INTERLEAVED_A, other)) is T.EQUALS
+
+    def test_multi_inside_big_polygon(self):
+        big = Polygon.box(-5, -5, 40, 40)
+        assert most_specific_relation(relate(INTERLEAVED_A, big)) is T.INSIDE
+        assert most_specific_relation(relate(big, INTERLEAVED_A)) is T.CONTAINS
+
+    def test_polygon_inside_one_part(self):
+        small = Polygon.box(2, 2, 4, 4)
+        assert most_specific_relation(relate(small, INTERLEAVED_A)) is T.INSIDE
+
+    def test_part_equal_part_rest_far(self):
+        """Both multis share one identical part; their other parts are
+        far away — II must be detected via per-part witnesses."""
+        shared = Polygon.box(20, 20, 30, 30)
+        a = MultiPolygon([Polygon.box(0, 0, 5, 5), shared])
+        b = MultiPolygon([Polygon.box(40, 40, 45, 45), shared])
+        matrix = relate(a, b)
+        assert matrix.II
+        assert most_specific_relation(matrix) is T.INTERSECTS
+
+    def test_meets_between_parts(self):
+        a = MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(40, 40, 50, 50)])
+        b = Polygon.box(10, 0, 20, 10)
+        assert most_specific_relation(relate(a, b)) is T.MEETS
+
+    def test_multi_covers_polygon(self):
+        part = Polygon.box(0, 0, 10, 10)
+        inner = Polygon.box(0, 2, 5, 5)
+        assert most_specific_relation(relate(INTERLEAVED_A, inner)) is T.COVERS
+
+
+class TestPipelinesWithMultipolygons:
+    PAIRS = [
+        (INTERLEAVED_A, INTERLEAVED_B),
+        (CROSS_TALL, CROSS_WIDE),
+        (INTERLEAVED_A, Polygon.box(-5, -5, 40, 40)),
+        (Polygon.box(2, 2, 4, 4), INTERLEAVED_A),
+        (INTERLEAVED_A, MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(20, 20, 30, 30)])),
+        (INTERLEAVED_A, Polygon.box(5, 5, 25, 25)),
+        (MultiPolygon([Polygon.box(0, 0, 10, 10), Polygon.box(40, 40, 50, 50)]),
+         Polygon.box(10, 0, 20, 10)),
+    ]
+
+    @pytest.mark.parametrize("method", ["ST2", "OP2", "APRIL", "P+C"])
+    def test_pipelines_sound_on_multis(self, method):
+        pipeline = PIPELINES[method]
+        for k, (r, s) in enumerate(self.PAIRS):
+            truth = most_specific_relation(relate(r, s))
+            outcome = pipeline.find_relation(obj(0, r), obj(1, s))
+            assert outcome.relation is truth, (method, k, outcome.relation, truth)
+
+    @pytest.mark.parametrize("predicate", list(T))
+    def test_relate_predicates_sound_on_multis(self, predicate):
+        from repro.topology.de9im import relation_holds
+
+        for r, s in self.PAIRS:
+            got, _ = relate_predicate(predicate, obj(0, r), obj(1, s))
+            want = relation_holds(relate(r, s), predicate)
+            assert got == want, (predicate, r, s)
+
+    def test_april_invariants_for_multis(self):
+        ap = build_april(INTERLEAVED_A, GRID)
+        assert ap.p.inside(ap.c)
+        assert ap.p.cell_count > 0
+        # P cells strictly interior to the union.
+        for cid in ap.p.iter_cells():
+            col, row = GRID.cell_of_hilbert_id(cid)
+            for corner in GRID.cell_box(col, row).corners():
+                assert INTERLEAVED_A.locate(corner) is Location.INTERIOR

@@ -1,0 +1,181 @@
+"""Unit and property tests for Ring and Polygon."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, Location, Polygon, Ring
+
+
+def regular_polygon(n, cx=0.0, cy=0.0, radius=1.0):
+    pts = []
+    for i in range(n):
+        a = 2 * math.pi * i / n
+        pts.append((cx + radius * math.cos(a), cy + radius * math.sin(a)))
+    return pts
+
+
+class TestRing:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Ring([(0, 0), (1, 1)])
+
+    def test_accepts_closed_input(self):
+        r = Ring([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(r) == 3
+
+    def test_dedupes_consecutive(self):
+        r = Ring([(0, 0), (0, 0), (1, 0), (1, 1), (1, 1)])
+        assert len(r) == 3
+
+    def test_signed_area_ccw_positive(self):
+        assert Ring([(0, 0), (2, 0), (2, 2), (0, 2)]).signed_area == 4
+
+    def test_signed_area_cw_negative(self):
+        assert Ring([(0, 2), (2, 2), (2, 0), (0, 0)]).signed_area == -4
+
+    def test_oriented(self):
+        cw = Ring([(0, 2), (2, 2), (2, 0), (0, 0)])
+        assert cw.oriented(ccw=True).is_ccw
+        assert not cw.oriented(ccw=False).is_ccw
+
+    def test_reversed_flips_area(self):
+        r = Ring([(0, 0), (3, 0), (0, 4)])
+        assert r.reversed().signed_area == -r.signed_area
+
+    def test_perimeter(self):
+        assert Ring([(0, 0), (3, 0), (3, 4)]).perimeter == 12
+
+    def test_bbox(self):
+        assert Ring([(0, 0), (3, 1), (1, 4)]).bbox == Box(0, 0, 3, 4)
+
+    def test_edges_count(self):
+        r = Ring([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(list(r.edges())) == 4
+
+    def test_simple_square(self):
+        assert Ring([(0, 0), (1, 0), (1, 1), (0, 1)]).is_simple()
+
+    def test_bowtie_not_simple(self):
+        assert not Ring([(0, 0), (2, 2), (2, 0), (0, 2)]).is_simple()
+
+    def test_spike_not_simple(self):
+        # Edge doubles back over itself (collinear overlap).
+        assert not Ring([(0, 0), (4, 0), (2, 0), (2, 3)]).is_simple()
+
+    def test_translated(self):
+        r = Ring([(0, 0), (1, 0), (0, 1)]).translated(5, 5)
+        assert r.coords[0] == (5, 5)
+
+    def test_scaled_about_origin(self):
+        r = Ring([(1, 1), (2, 1), (1, 2)]).scaled(2.0, origin=(1, 1))
+        assert (2, 2) in [tuple(c) for c in r.coords] or (3, 1) in r.coords
+
+    @given(st.integers(3, 40))
+    def test_regular_polygons_simple_and_ccw(self, n):
+        r = Ring(regular_polygon(n))
+        assert r.is_simple()
+        assert r.is_ccw
+        # Area converges to pi for the unit-circle inscribed polygon.
+        assert 0 < r.area <= math.pi + 1e-9
+
+
+class TestPolygon:
+    def test_normalises_orientation(self):
+        p = Polygon(
+            [(0, 2), (2, 2), (2, 0), (0, 0)],  # CW shell
+            [[(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)]],  # CCW hole
+        )
+        assert p.shell.is_ccw
+        assert all(not h.is_ccw for h in p.holes)
+
+    def test_area_with_hole(self):
+        p = Polygon.box(0, 0, 4, 4)
+        holed = Polygon(p.shell, [[(1, 1), (2, 1), (2, 2), (1, 2)]])
+        assert holed.area == 15
+
+    def test_num_vertices_counts_holes(self):
+        holed = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (2, 1), (2, 2), (1, 2)]]
+        )
+        assert holed.num_vertices == 8
+
+    def test_bbox(self):
+        assert Polygon.box(1, 2, 3, 4).bbox == Box(1, 2, 3, 4)
+
+    def test_locate_in_hole_is_exterior(self):
+        holed = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (3, 1), (3, 3), (1, 3)]]
+        )
+        assert holed.locate((2, 2)) is Location.EXTERIOR
+        assert holed.locate((1, 2)) is Location.BOUNDARY
+        assert holed.locate((0.5, 0.5)) is Location.INTERIOR
+
+    def test_representative_point_interior(self):
+        holed = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (3, 1), (3, 3), (1, 3)]]
+        )
+        assert holed.locate(holed.representative_point) is Location.INTERIOR
+
+    def test_representative_point_thin_triangle(self):
+        thin = Polygon([(0, 0), (100, 0.001), (100, 0.002)])
+        assert thin.locate(thin.representative_point) is Location.INTERIOR
+
+    def test_is_valid_good(self):
+        holed = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(1, 1), (3, 1), (3, 3), (1, 3)]]
+        )
+        assert holed.is_valid()
+
+    def test_is_valid_hole_outside(self):
+        bad = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4)], [[(10, 10), (12, 10), (12, 12), (10, 12)]]
+        )
+        assert not bad.is_valid()
+
+    def test_is_valid_self_intersecting_shell(self):
+        bad = Polygon([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert not bad.is_valid()
+
+    def test_translated_preserves_area(self):
+        p = Polygon(regular_polygon(9))
+        assert abs(p.translated(100, -50).area - p.area) < 1e-12
+
+    def test_scaled_area(self):
+        p = Polygon.box(0, 0, 2, 2)
+        assert abs(p.scaled(3.0).area - 36) < 1e-9
+
+    def test_equality_and_hash(self):
+        a = Polygon.box(0, 0, 1, 1)
+        b = Polygon.box(0, 0, 1, 1)
+        assert a == b and hash(a) == hash(b)
+
+    @given(st.integers(3, 25), st.floats(-50, 50), st.floats(-50, 50))
+    @settings(max_examples=60)
+    def test_representative_point_always_interior(self, n, cx, cy):
+        p = Polygon(regular_polygon(n, cx, cy, 2.5))
+        assert p.locate(p.representative_point) is Location.INTERIOR
+
+
+class TestLocateProperties:
+    @given(
+        st.integers(3, 16),
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+        st.floats(0, 2 * math.pi),
+        st.floats(0, 3),
+    )
+    @settings(max_examples=80)
+    def test_polar_sample_classification(self, n, cx, cy, angle, rho):
+        """Points at radius < r_in are interior; radius > 1 are exterior."""
+        poly = Polygon(regular_polygon(n, cx, cy, 1.0))
+        r_in = math.cos(math.pi / n)  # inradius of the regular n-gon
+        x = cx + rho * math.cos(angle)
+        y = cy + rho * math.sin(angle)
+        where = poly.locate((x, y))
+        if rho < r_in * 0.999:
+            assert where is Location.INTERIOR
+        elif rho > 1.001:
+            assert where is Location.EXTERIOR

@@ -1,0 +1,167 @@
+"""Unit tests for robust segment predicates."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.segment import (
+    SegmentIntersectionKind,
+    orientation,
+    point_on_segment,
+    segment_intersection,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_cw(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_collinear_large_coords(self):
+        assert orientation((1e16, 1e16), (2e16, 2e16), (3e16, 3e16)) == 0
+
+    def test_near_degenerate_exact(self):
+        # These points are *not* collinear, but naive float evaluation of
+        # the determinant is ambiguous; the adaptive fallback must decide.
+        p = (0.1, 0.1)
+        q = (0.2, 0.2)
+        r = (0.3, 0.3 + 1e-17)
+        assert orientation(p, q, r) == orientation(q, r, p) == orientation(r, p, q)
+
+    def test_antisymmetry(self):
+        p, q, r = (0.0, 0.0), (3.1, 1.7), (2.2, 5.5)
+        assert orientation(p, q, r) == -orientation(q, p, r)
+
+    @given(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+    )
+    def test_cyclic_invariance(self, p, q, r):
+        assert orientation(p, q, r) == orientation(q, r, p) == orientation(r, p, q)
+
+
+class TestPointOnSegment:
+    def test_endpoint(self):
+        assert point_on_segment((0, 0), (0, 0), (5, 5))
+
+    def test_midpoint(self):
+        assert point_on_segment((2.5, 2.5), (0, 0), (5, 5))
+
+    def test_off_line(self):
+        assert not point_on_segment((2.5, 2.6), (0, 0), (5, 5))
+
+    def test_on_line_outside_segment(self):
+        assert not point_on_segment((6, 6), (0, 0), (5, 5))
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect((0, 0), (4, 4), (0, 4), (4, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 1), (2, 2.5), (3, 4))
+
+    def test_touch_at_endpoint(self):
+        assert segments_intersect((0, 0), (2, 2), (2, 2), (4, 0))
+
+    def test_t_junction(self):
+        assert segments_intersect((0, 0), (4, 0), (2, 0), (2, 5))
+
+    def test_collinear_overlap(self):
+        assert segments_intersect((0, 0), (4, 0), (2, 0), (6, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel(self):
+        assert not segments_intersect((0, 0), (4, 0), (0, 1), (4, 1))
+
+
+class TestSegmentIntersection:
+    def test_crossing_point(self):
+        res = segment_intersection((0, 0), (4, 4), (0, 4), (4, 0))
+        assert res.kind is SegmentIntersectionKind.CROSSING
+        assert res.points == ((2.0, 2.0),)
+
+    def test_none(self):
+        res = segment_intersection((0, 0), (1, 1), (5, 5), (6, 6))
+        assert res.kind is SegmentIntersectionKind.NONE
+        assert not res
+
+    def test_touch(self):
+        res = segment_intersection((0, 0), (2, 2), (2, 2), (5, 1))
+        assert res.kind is SegmentIntersectionKind.TOUCH
+        assert res.points == ((2, 2),)
+
+    def test_t_touch_midpoint(self):
+        res = segment_intersection((0, 0), (4, 0), (2, -1), (2, 0))
+        assert res.kind is SegmentIntersectionKind.TOUCH
+        assert res.points == ((2, 0),)
+
+    def test_collinear_overlap(self):
+        res = segment_intersection((0, 0), (4, 0), (2, 0), (6, 0))
+        assert res.kind is SegmentIntersectionKind.OVERLAP
+        assert res.points == ((2.0, 0.0), (4.0, 0.0))
+
+    def test_collinear_containment(self):
+        res = segment_intersection((0, 0), (10, 0), (3, 0), (6, 0))
+        assert res.kind is SegmentIntersectionKind.OVERLAP
+        assert res.points == ((3.0, 0.0), (6.0, 0.0))
+
+    def test_collinear_touch(self):
+        res = segment_intersection((0, 0), (2, 0), (2, 0), (5, 0))
+        assert res.kind is SegmentIntersectionKind.TOUCH
+        assert res.points == ((2.0, 0.0),)
+
+    def test_collinear_vertical_overlap(self):
+        res = segment_intersection((0, 0), (0, 4), (0, 2), (0, 8))
+        assert res.kind is SegmentIntersectionKind.OVERLAP
+        assert res.points == ((0.0, 2.0), (0.0, 4.0))
+
+    def test_identical_segments(self):
+        res = segment_intersection((1, 1), (5, 5), (1, 1), (5, 5))
+        assert res.kind is SegmentIntersectionKind.OVERLAP
+        assert res.points == ((1, 1), (5, 5))
+
+    def test_crossing_point_on_segments(self):
+        res = segment_intersection((0.1, 0.3), (7.7, 3.9), (1.1, 5.0), (4.2, -2.0))
+        assert res.kind is SegmentIntersectionKind.CROSSING
+        (px, py) = res.points[0]
+        # The point must lie (numerically) on both carrier lines.
+        for a, b in (((0.1, 0.3), (7.7, 3.9)), ((1.1, 5.0), (4.2, -2.0))):
+            cross = (b[0] - a[0]) * (py - a[1]) - (b[1] - a[1]) * (px - a[0])
+            assert abs(cross) < 1e-9 * max(1.0, abs(b[0] - a[0]), abs(b[1] - a[1]))
+
+    @given(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+    )
+    def test_consistent_with_boolean(self, a1, a2, b1, b2):
+        res = segment_intersection(a1, a2, b1, b2)
+        boolean = segments_intersect(a1, a2, b1, b2)
+        if a1 != a2 and b1 != b2:
+            assert bool(res) == boolean
+
+    @given(
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+        st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+    )
+    def test_symmetry(self, a1, a2, b1, b2):
+        res1 = segment_intersection(a1, a2, b1, b2)
+        res2 = segment_intersection(b1, b2, a1, a2)
+        assert res1.kind == res2.kind
+        if res1.kind is SegmentIntersectionKind.OVERLAP:
+            assert set(res1.points) == set(res2.points)

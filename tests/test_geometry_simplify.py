@@ -1,0 +1,99 @@
+"""Tests for Douglas-Peucker simplification."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import MultiPolygon, Polygon, Ring
+from repro.geometry.simplify import (
+    simplify_chain,
+    simplify_geometry,
+    simplify_polygon,
+    simplify_ring,
+)
+
+
+def noisy_circle(n=200, radius=10.0, noise=0.05, seed=3):
+    rng = np.random.default_rng(seed)
+    pts = []
+    for k in range(n):
+        a = 2 * math.pi * k / n
+        r = radius * (1 + noise * rng.uniform(-1, 1))
+        pts.append((r * math.cos(a), r * math.sin(a)))
+    return Polygon(pts)
+
+
+class TestChain:
+    def test_straight_line_collapses(self):
+        chain = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+        assert simplify_chain(chain, 0.01) == [(0.0, 0.0), (3.0, 0.0)]
+
+    def test_zero_tolerance_keeps_bends(self):
+        chain = [(0, 0), (1, 1), (2, 0)]
+        assert simplify_chain(chain, 0.0) == chain
+
+    def test_endpoints_always_kept(self):
+        chain = [(0, 0), (5, 0.1), (10, 0)]
+        got = simplify_chain(chain, 100.0)
+        assert got[0] == (0, 0) and got[-1] == (10, 0)
+
+    def test_big_detour_survives(self):
+        chain = [(0, 0), (5, 8), (10, 0)]
+        assert simplify_chain(chain, 1.0) == chain
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            simplify_chain([(0, 0), (1, 1)], -1)
+
+    def test_short_chain_unchanged(self):
+        assert simplify_chain([(0, 0), (1, 1)], 5.0) == [(0, 0), (1, 1)]
+
+
+class TestRingAndPolygon:
+    def test_reduces_vertices(self):
+        poly = noisy_circle()
+        simplified = simplify_polygon(poly, 0.5)
+        assert len(simplified.shell) < len(poly.shell)
+        assert simplified.shell.is_simple()
+
+    def test_area_roughly_preserved(self):
+        poly = noisy_circle()
+        simplified = simplify_polygon(poly, 0.3)
+        assert abs(simplified.area - poly.area) < 0.1 * poly.area
+
+    def test_tiny_tolerance_keeps_everything(self):
+        poly = noisy_circle(n=50)
+        assert len(simplify_polygon(poly, 1e-12).shell) == len(poly.shell)
+
+    def test_square_unchanged(self):
+        square = Polygon.box(0, 0, 10, 10)
+        assert simplify_polygon(square, 1.0) == square
+
+    def test_holes_simplified_or_dropped(self):
+        hole = [(4 + 0.5 * math.cos(a), 4 + 0.5 * math.sin(a))
+                for a in np.linspace(0, 2 * math.pi, 30, endpoint=False)]
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)], [hole])
+        mildly = simplify_polygon(poly, 0.05)
+        assert len(mildly.holes) == 1
+        assert len(mildly.holes[0]) <= 30
+
+    def test_collapsed_ring_returns_none(self):
+        thin = Ring([(0, 0), (10, 0.001), (10, 0.002), (0, 0.003)])
+        assert simplify_ring(thin, 1.0) is None or len(simplify_ring(thin, 1.0)) >= 3
+
+    def test_multipolygon(self):
+        multi = MultiPolygon([noisy_circle(seed=1), noisy_circle(seed=2).translated(50, 0)])
+        simplified = simplify_geometry(multi, 0.5)
+        assert isinstance(simplified, MultiPolygon)
+        assert simplified.num_vertices < multi.num_vertices
+
+    @given(st.integers(12, 60), st.floats(0.01, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_simplified_ring_valid(self, n, tolerance):
+        poly = noisy_circle(n=n, seed=n)
+        simplified = simplify_polygon(poly, tolerance)
+        assert simplified.shell.is_simple()
+        assert len(simplified.shell) >= 3

@@ -1,0 +1,74 @@
+"""Round-trip and error tests for the WKT reader/writer."""
+
+import pytest
+
+from repro.geometry import Polygon, dumps_wkt, loads_wkt
+from repro.geometry.wkt import WktError
+
+
+class TestLoads:
+    def test_simple_polygon(self):
+        polys = loads_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        assert len(polys) == 1
+        assert polys[0].area == 16
+
+    def test_polygon_with_hole(self):
+        polys = loads_wkt(
+            "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))"
+        )
+        assert polys[0].area == 15
+        assert len(polys[0].holes) == 1
+
+    def test_multipolygon(self):
+        polys = loads_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))"
+        )
+        assert len(polys) == 2
+        assert all(p.area == 1 for p in polys)
+
+    def test_scientific_notation(self):
+        polys = loads_wkt("POLYGON ((0 0, 1e2 0, 1e2 1e2, 0 1e2, 0 0))")
+        assert polys[0].area == 10000
+
+    def test_negative_coords(self):
+        polys = loads_wkt("POLYGON ((-1 -1, 1 -1, 1 1, -1 1, -1 -1))")
+        assert polys[0].area == 4
+
+    def test_case_insensitive(self):
+        assert loads_wkt("polygon ((0 0, 1 0, 0 1, 0 0))")[0].area == 0.5
+
+    def test_whitespace_tolerant(self):
+        assert loads_wkt("  POLYGON(( 0 0 ,1 0, 0 1 ,0 0 ))")[0].area == 0.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "LINESTRING (0 0, 1 1)",
+            "POLYGON ((0 0, 1 0, 0 1, 0 0)",
+            "POLYGON ((0 0, 1 0, 0 1, 0 0)) trailing",
+            "POLYGON ((0 0, 1 x, 0 1, 0 0))",
+            "POLYGON",
+            "",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(WktError):
+            loads_wkt(bad)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        p = Polygon.box(0, 0, 3, 7)
+        assert loads_wkt(dumps_wkt(p))[0] == p
+
+    def test_with_hole(self):
+        p = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(2, 2), (4, 2), (4, 4), (2, 4)]]
+        )
+        back = loads_wkt(dumps_wkt(p))[0]
+        assert back == p
+
+    def test_precision(self):
+        p = Polygon([(0.123456789, 0), (1, 0.987654321), (0, 1)])
+        back = loads_wkt(dumps_wkt(p, precision=12))[0]
+        assert back.shell.coords == p.shell.coords

@@ -1,0 +1,138 @@
+"""Tests for the interlinking layer (links, schedulers, budgets)."""
+
+import pytest
+
+from repro.datasets import load_scenario
+from repro.interlink import (
+    GEO_PREDICATES,
+    Link,
+    OverlapRatioScheduler,
+    ProgressiveInterlinker,
+    SmallestFirstScheduler,
+    StaticScheduler,
+    links_to_ntriples,
+    relation_to_geosparql,
+)
+from repro.topology.de9im import TopologicalRelation as T
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return load_scenario("OLE-OPE", scale=0.3, grid_order=10)
+
+
+@pytest.fixture(scope="module")
+def interlinker(scenario):
+    return ProgressiveInterlinker(
+        scenario.r_objects, scenario.s_objects, scenario.pairs
+    )
+
+
+class TestLinks:
+    def test_vocabulary_covers_all_relations(self):
+        assert set(GEO_PREDICATES) == set(T)
+
+    def test_within_family(self):
+        assert GEO_PREDICATES[T.INSIDE] == "sfWithin"
+        assert GEO_PREDICATES[T.COVERED_BY] == "sfWithin"
+        assert GEO_PREDICATES[T.CONTAINS] == "sfContains"
+
+    def test_predicate_iri(self):
+        assert relation_to_geosparql(T.MEETS).endswith("#sfTouches")
+
+    def test_ntriple_format(self):
+        link = Link("urn:r:1", T.INSIDE, "urn:s:2")
+        triple = link.to_ntriple()
+        assert triple == (
+            "<urn:r:1> <http://www.opengis.net/ont/geosparql#sfWithin> <urn:s:2> ."
+        )
+
+    def test_links_to_ntriples(self):
+        doc = links_to_ntriples(
+            [Link("urn:r:1", T.MEETS, "urn:s:2"), Link("urn:r:3", T.EQUALS, "urn:s:4")]
+        )
+        lines = doc.strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.endswith(" .") for line in lines)
+
+
+class TestSchedulers:
+    def test_static_preserves_order(self, scenario):
+        sched = StaticScheduler()
+        assert sched.order(scenario.r_objects, scenario.s_objects, scenario.pairs) == list(
+            scenario.pairs
+        )
+
+    def test_overlap_ratio_sorts_descending(self, scenario):
+        sched = OverlapRatioScheduler()
+        ordered = sched.order(scenario.r_objects, scenario.s_objects, scenario.pairs)
+        assert sorted(ordered) == sorted(scenario.pairs)
+
+        def score(pair):
+            r_box = scenario.r_objects[pair[0]].box
+            s_box = scenario.s_objects[pair[1]].box
+            inter = r_box.intersection(s_box)
+            return inter.area / min(r_box.area, s_box.area) if inter else 0.0
+
+        scores = [score(p) for p in ordered]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_smallest_first_sorts_ascending(self, scenario):
+        sched = SmallestFirstScheduler()
+        ordered = sched.order(scenario.r_objects, scenario.s_objects, scenario.pairs)
+
+        def cost(pair):
+            r_box = scenario.r_objects[pair[0]].box
+            s_box = scenario.s_objects[pair[1]].box
+            return r_box.width + r_box.height + s_box.width + s_box.height
+
+        costs = [cost(p) for p in ordered]
+        assert costs == sorted(costs)
+
+
+class TestProgressiveRuns:
+    def test_full_budget_finds_same_links_any_scheduler(self, interlinker):
+        static = interlinker.run(StaticScheduler())
+        ratio = interlinker.run(OverlapRatioScheduler())
+        assert set(static.links) == set(ratio.links)
+        assert static.examined_pairs == ratio.examined_pairs == static.total_pairs
+
+    def test_budget_limits_examined_pairs(self, interlinker):
+        report = interlinker.run(StaticScheduler(), budget=10)
+        assert report.examined_pairs == 10
+        assert all(idx < 10 for idx in report.discovery_index)
+
+    def test_overlap_scheduler_competitive_at_half_budget(self, interlinker):
+        """With half the budget, the overlap-ratio order must stay
+        competitive with static order (its gains depend on link
+        density, but it must never be much worse)."""
+        half = interlinker.run(StaticScheduler()).total_pairs // 2
+        static = interlinker.run(StaticScheduler(), budget=half)
+        ratio = interlinker.run(OverlapRatioScheduler(), budget=half)
+        assert ratio.num_links >= 0.8 * static.num_links
+
+    def test_recall_curve_monotone(self, interlinker):
+        report = interlinker.run(OverlapRatioScheduler())
+        curve = report.recall_curve()
+        fractions = [f for f, _ in curve]
+        recalls = [r for _, r in curve]
+        assert fractions == sorted(fractions)
+        assert recalls == sorted(recalls)
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_include_disjoint(self, interlinker):
+        with_disjoint = interlinker.run(include_disjoint=True)
+        without = interlinker.run()
+        assert with_disjoint.num_links >= without.num_links
+        assert with_disjoint.num_links == with_disjoint.total_pairs
+
+    def test_links_match_pipeline_relations(self, scenario, interlinker):
+        from repro.join.pipeline import PIPELINES
+
+        report = interlinker.run()
+        pc = PIPELINES["P+C"]
+        for link in report.links[:40]:
+            i = int(link.subject.rsplit(":", 1)[1])
+            j = int(link.object.rsplit(":", 1)[1])
+            outcome = pc.find_relation(scenario.r_objects[i], scenario.s_objects[j])
+            assert outcome.relation is link.relation

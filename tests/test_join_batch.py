@@ -1,0 +1,80 @@
+"""Tests for the vectorised batch P+C runner."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_scenario
+from repro.filters.mbr import classify_mbr_pair
+from repro.join.batch import _CASE_CODES, classify_mbr_pairs_bulk, run_find_relation_batch
+from repro.join.pipeline import run_find_relation
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return load_scenario("OLE-OPE", scale=0.3, grid_order=10)
+
+
+class TestBulkClassification:
+    def test_empty(self, scenario):
+        codes = classify_mbr_pairs_bulk(scenario.r_objects, scenario.s_objects, [])
+        assert codes.size == 0
+
+    def test_matches_scalar_classifier(self, scenario):
+        codes = classify_mbr_pairs_bulk(
+            scenario.r_objects, scenario.s_objects, scenario.pairs
+        )
+        for k, (i, j) in enumerate(scenario.pairs):
+            case = classify_mbr_pair(scenario.r_objects[i].box, scenario.s_objects[j].box)
+            assert int(codes[k]) == _CASE_CODES[case], (i, j)
+
+    def test_synthetic_all_cases(self):
+        from repro.geometry import Box, Polygon
+        from repro.join.objects import make_objects
+        from repro.raster import RasterGrid
+
+        grid = RasterGrid(Box(0, 0, 64, 64), order=6)
+        r_polys = [
+            Polygon.box(0, 0, 10, 10),   # vs equal
+            Polygon.box(0, 0, 10, 10),   # vs contains (r in s)
+            Polygon.box(0, 0, 30, 30),   # vs inside (s in r)
+            Polygon.box(20, 5, 25, 55),  # vs cross
+            Polygon.box(0, 0, 10, 10),   # vs overlap
+            Polygon.box(0, 0, 1, 1),     # vs disjoint
+        ]
+        s_polys = [
+            Polygon.box(0, 0, 10, 10),
+            Polygon.box(-5, -5, 20, 20),
+            Polygon.box(5, 5, 9, 9),
+            Polygon.box(5, 20, 55, 25),
+            Polygon.box(5, 5, 15, 15),
+            Polygon.box(50, 50, 60, 60),
+        ]
+        r_objects = make_objects(r_polys, grid)
+        s_objects = make_objects(s_polys, grid)
+        pairs = [(k, k) for k in range(6)]
+        codes = classify_mbr_pairs_bulk(r_objects, s_objects, pairs)
+        for k in range(6):
+            case = classify_mbr_pair(r_objects[k].box, s_objects[k].box)
+            assert int(codes[k]) == _CASE_CODES[case]
+
+
+class TestBatchRunner:
+    def test_same_verdicts_as_scalar(self, scenario):
+        scalar = run_find_relation("P+C", scenario.r_objects, scenario.s_objects, scenario.pairs)
+        batch = run_find_relation_batch(scenario.r_objects, scenario.s_objects, scenario.pairs)
+        assert batch.pairs == scalar.pairs
+        assert batch.relation_counts == scalar.relation_counts
+        assert batch.refined == scalar.refined
+        assert batch.resolved_mbr == scalar.resolved_mbr
+        assert batch.resolved_if == scalar.resolved_if
+
+    def test_geometry_access_matches(self, scenario):
+        batch = run_find_relation_batch(scenario.r_objects, scenario.s_objects, scenario.pairs)
+        scalar = run_find_relation("P+C", scenario.r_objects, scenario.s_objects, scenario.pairs)
+        assert batch.r_objects_accessed == scalar.r_objects_accessed
+        assert batch.s_objects_accessed == scalar.s_objects_accessed
+
+    def test_empty_stream(self, scenario):
+        stats = run_find_relation_batch(scenario.r_objects, scenario.s_objects, [])
+        assert stats.pairs == 0
+        assert stats.undetermined_pct == 0.0

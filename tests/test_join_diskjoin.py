@@ -1,0 +1,90 @@
+"""Tests for the PBSM-style disk-partitioned join."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopologyJoin
+from repro.datasets.synthetic import generate_blobs, generate_tessellation
+from repro.geometry import Box, Polygon
+from repro.join.diskjoin import DiskPartitionedJoin
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(17)
+    region = Box(0, 0, 400, 400)
+    districts = generate_tessellation(rng, region, 4, 4, edge_points=6)
+    blobs = generate_blobs(rng, 50, region, (3, 40), (8, 50))
+    return districts, blobs, region
+
+
+class TestPartitioning:
+    def test_replication_counts(self, inputs, tmp_path):
+        districts, blobs, region = inputs
+        join = DiskPartitionedJoin(tmp_path, tiles_per_dim=4)
+        extent = region.expanded(1.0)
+        r_replicas = join.partition("r", districts, extent)
+        s_replicas = join.partition("s", blobs, extent)
+        # Every object lands in at least one tile.
+        assert r_replicas >= len(districts)
+        assert s_replicas >= len(blobs)
+        # Spanning tessellation cells must be replicated.
+        assert r_replicas > len(districts)
+
+    def test_partition_files_created(self, inputs, tmp_path):
+        districts, blobs, region = inputs
+        join = DiskPartitionedJoin(tmp_path, tiles_per_dim=2)
+        extent = region.expanded(1.0)
+        join.partition("r", districts, extent)
+        join.partition("s", blobs, extent)
+        parts = list(tmp_path.glob("*.part"))
+        assert parts
+        assert (tmp_path / "meta.json").exists()
+
+    def test_extent_mismatch_rejected(self, inputs, tmp_path):
+        districts, blobs, region = inputs
+        join = DiskPartitionedJoin(tmp_path)
+        join.partition("r", districts, region.expanded(1.0))
+        with pytest.raises(ValueError):
+            join.partition("s", blobs, region.expanded(2.0))
+
+    def test_bad_side_rejected(self, inputs, tmp_path):
+        districts, _, region = inputs
+        join = DiskPartitionedJoin(tmp_path)
+        with pytest.raises(ValueError):
+            join.partition("x", districts, region)
+
+    def test_bad_method_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            DiskPartitionedJoin(tmp_path, method="NOPE")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("tiles", [1, 3, 5])
+    def test_matches_in_memory_join(self, inputs, tmp_path, tiles):
+        districts, blobs, region = inputs
+        workdir = tmp_path / f"tiles{tiles}"
+        disk = DiskPartitionedJoin(workdir, tiles_per_dim=tiles, grid_order=9)
+        extent = region.expanded(1.0)
+        disk.partition("r", districts, extent)
+        disk.partition("s", blobs, extent)
+        results, stats = disk.run()
+
+        memory = TopologyJoin(districts, blobs, grid_order=9)
+        expected = sorted(
+            (link.r_index, link.s_index, link.relation)
+            for link in memory.find_relations()
+        )
+        got = sorted((r.r_id, r.s_id, r.relation) for r in results)
+        assert got == expected
+        assert stats.pairs == len(memory.candidate_pairs)
+
+    def test_no_duplicates_for_spanning_objects(self, inputs, tmp_path):
+        districts, blobs, region = inputs
+        disk = DiskPartitionedJoin(tmp_path / "dedup", tiles_per_dim=4, grid_order=9)
+        extent = region.expanded(1.0)
+        disk.partition("r", districts, extent)
+        disk.partition("s", blobs, extent)
+        results, _ = disk.run(include_disjoint=True)
+        keys = [(r.r_id, r.s_id) for r in results]
+        assert len(keys) == len(set(keys))

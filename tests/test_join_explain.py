@@ -1,0 +1,68 @@
+"""Tests for the explain/trace facility."""
+
+import pytest
+
+from repro.filters.mbr import MBRRelationship
+from repro.geometry import Box, MultiPolygon, Polygon
+from repro.join.explain import explain_pair
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import PIPELINES
+from repro.raster import RasterGrid
+from repro.topology import TopologicalRelation as T
+
+GRID = RasterGrid(Box(0, 0, 64, 64), order=8)
+
+
+def obj(oid, geometry):
+    return SpatialObject.from_polygon(oid, geometry, GRID)
+
+
+class TestExplain:
+    def test_disjoint_mbrs(self):
+        trace = explain_pair(obj(0, Polygon.box(0, 0, 5, 5)), obj(1, Polygon.box(20, 20, 30, 30)))
+        assert trace.mbr_case is MBRRelationship.DISJOINT
+        assert trace.relation is T.DISJOINT
+        assert not trace.refined
+        assert "disjoint" in trace.render()
+
+    def test_cross_shortcut(self):
+        tall = Polygon.box(20, 2, 24, 60)
+        wide = Polygon.box(2, 20, 60, 24)
+        trace = explain_pair(obj(0, tall), obj(1, wide))
+        assert trace.mbr_case is MBRRelationship.CROSS
+        assert trace.relation is T.INTERSECTS
+        assert not trace.checks  # resolved before any merge-join
+
+    def test_inside_definite_lists_checks(self):
+        trace = explain_pair(obj(0, Polygon.box(10, 10, 20, 20)), obj(1, Polygon.box(5, 5, 40, 40)))
+        assert trace.relation is T.INSIDE
+        assert not trace.refined
+        assert any("rC inside sP" in check for check in trace.checks)
+
+    def test_refinement_records_matrix(self):
+        # Shared-edge pair: meets, only refinement can prove it.
+        trace = explain_pair(obj(0, Polygon.box(10, 10, 20, 20)), obj(1, Polygon.box(20, 10, 30, 20)))
+        assert trace.refined
+        assert trace.matrix_code is not None and len(trace.matrix_code) == 9
+        assert trace.relation is T.MEETS
+        assert "refine" in trace.filter_verdict
+
+    def test_multi_part_flagged(self):
+        multi = MultiPolygon([Polygon.box(0, 0, 5, 5), Polygon.box(30, 30, 35, 35)])
+        trace = explain_pair(obj(0, multi), obj(1, Polygon.box(2, 2, 33, 33)))
+        assert not trace.connected
+        assert "multi-part" in trace.render()
+
+    @pytest.mark.parametrize(
+        "r,s",
+        [
+            (Polygon.box(10, 10, 20, 20), Polygon.box(12, 12, 18, 18)),
+            (Polygon.box(10, 10, 20, 20), Polygon.box(15, 15, 25, 25)),
+            (Polygon.box(10, 10, 20, 20), Polygon.box(10, 10, 20, 20)),
+            (Polygon([(0, 0), (30, 0), (0, 30)]), Polygon.box(20, 20, 40, 40)),
+        ],
+    )
+    def test_explained_relation_matches_pipeline(self, r, s):
+        trace = explain_pair(obj(0, r), obj(1, s))
+        outcome = PIPELINES["P+C"].find_relation(obj(0, r), obj(1, s))
+        assert trace.relation is outcome.relation

@@ -1,0 +1,84 @@
+"""Unit tests for JoinRunStats derived measures."""
+
+import pytest
+
+from repro.join.stats import JoinRunStats
+from repro.topology.de9im import TopologicalRelation as T
+
+
+def make_stats(**overrides):
+    stats = JoinRunStats(method="P+C")
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestDerivedMeasures:
+    def test_throughput(self):
+        stats = make_stats(pairs=100, filter_seconds=0.5, refine_seconds=0.5)
+        assert stats.throughput == 100.0
+
+    def test_throughput_zero_time(self):
+        assert make_stats(pairs=5).throughput == float("inf")
+
+    def test_undetermined_pct(self):
+        stats = make_stats(pairs=200, refined=50)
+        assert stats.undetermined_pct == 25.0
+
+    def test_undetermined_pct_empty(self):
+        assert make_stats().undetermined_pct == 0.0
+
+    def test_geometry_access_pct(self):
+        stats = make_stats(
+            r_objects_accessed=10, s_objects_accessed=10,
+            r_objects_total=50, s_objects_total=50,
+        )
+        assert stats.geometry_access_pct == 20.0
+
+    def test_geometry_access_pct_empty(self):
+        assert make_stats().geometry_access_pct == 0.0
+
+    def test_total_seconds(self):
+        stats = make_stats(filter_seconds=1.5, refine_seconds=0.25)
+        assert stats.total_seconds == 1.75
+
+
+class TestRecord:
+    def test_record_stages(self):
+        stats = JoinRunStats(method="x")
+        stats.record(T.DISJOINT, "mbr")
+        stats.record(T.INSIDE, "if")
+        stats.record(T.MEETS, "refinement")
+        assert stats.pairs == 3
+        assert stats.resolved_mbr == 1
+        assert stats.resolved_if == 1
+        assert stats.refined == 1
+        assert stats.relation_counts[T.DISJOINT] == 1
+
+    def test_summary_mentions_method_and_counts(self):
+        stats = make_stats(pairs=10, refined=4, filter_seconds=0.1, refine_seconds=0.4)
+        text = stats.summary()
+        assert "P+C" in text and "10" in text and "40.0%" in text
+
+
+class TestMerge:
+    def test_merge_adds_everything(self):
+        a = make_stats(pairs=10, refined=2, resolved_if=8, filter_seconds=0.5,
+                       r_objects_total=4, s_objects_total=6, r_objects_accessed=1)
+        b = make_stats(pairs=5, refined=5, refine_seconds=1.0,
+                       r_objects_total=4, s_objects_total=6, s_objects_accessed=2)
+        a.relation_counts[T.INSIDE] = 3
+        b.relation_counts[T.INSIDE] = 1
+        merged = a.merge(b)
+        assert merged.pairs == 15
+        assert merged.refined == 7
+        assert merged.resolved_if == 8
+        assert merged.relation_counts[T.INSIDE] == 4
+        assert merged.total_seconds == 1.5
+        assert merged.r_objects_accessed == 1 and merged.s_objects_accessed == 2
+
+    def test_merge_different_methods_rejected(self):
+        a = JoinRunStats(method="ST2")
+        b = JoinRunStats(method="P+C")
+        with pytest.raises(ValueError):
+            a.merge(b)

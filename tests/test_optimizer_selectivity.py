@@ -1,0 +1,106 @@
+"""Tests for spatial histograms and selectivity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.geometry import Box
+from repro.join.mbr_join import plane_sweep_mbr_join
+from repro.optimizer import SpatialHistogram, estimate_join_candidates
+
+
+def uniform_boxes(rng, n, extent, size):
+    out = []
+    for _ in range(n):
+        x = rng.uniform(extent.xmin, extent.xmax - size)
+        y = rng.uniform(extent.ymin, extent.ymax - size)
+        out.append(Box(x, y, x + size, y + size))
+    return out
+
+
+EXTENT = Box(0, 0, 1000, 1000)
+
+
+@pytest.fixture(scope="module")
+def uniform_hist():
+    rng = np.random.default_rng(5)
+    boxes = uniform_boxes(rng, 500, EXTENT, 10)
+    return boxes, SpatialHistogram.build(boxes, buckets_per_dim=25, extent=EXTENT)
+
+
+class TestBuild:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SpatialHistogram.build([])
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            SpatialHistogram.build([Box(0, 0, 1, 1)], buckets_per_dim=0)
+
+    def test_counts_conserve_population(self, uniform_hist):
+        boxes, hist = uniform_hist
+        assert hist.counts.sum() == pytest.approx(len(boxes))
+
+    def test_metadata(self, uniform_hist):
+        boxes, hist = uniform_hist
+        assert hist.num_objects == 500
+        assert hist.avg_width == pytest.approx(10.0)
+
+
+class TestWindowEstimates:
+    def test_empty_region_estimates_zero(self, uniform_hist):
+        _, hist = uniform_hist
+        lonely = SpatialHistogram.build(
+            [Box(0, 0, 5, 5)], buckets_per_dim=25, extent=EXTENT
+        )
+        # A window far away from the single object.
+        assert lonely.estimate_window_candidates(Box(800, 800, 900, 900)) < 0.05
+
+    def test_uniform_window_estimate_close(self, uniform_hist):
+        boxes, hist = uniform_hist
+        window = Box(200, 200, 500, 500)
+        truth = sum(1 for b in boxes if b.intersects(window))
+        estimate = hist.estimate_window_candidates(window)
+        assert truth * 0.5 <= estimate <= truth * 2.0
+
+    def test_containment_below_intersection(self, uniform_hist):
+        _, hist = uniform_hist
+        window = Box(100, 100, 400, 400)
+        assert hist.estimate_window_containment(window) <= hist.estimate_window_candidates(window)
+
+    def test_containment_zero_for_tiny_window(self, uniform_hist):
+        _, hist = uniform_hist
+        assert hist.estimate_window_containment(Box(500, 500, 503, 503)) == 0.0
+
+    def test_estimate_capped_at_population(self, uniform_hist):
+        boxes, hist = uniform_hist
+        assert hist.estimate_window_candidates(Box(-1e6, -1e6, 1e6, 1e6)) <= len(boxes)
+
+
+class TestJoinEstimates:
+    def test_uniform_join_estimate_close(self):
+        rng = np.random.default_rng(8)
+        r = uniform_boxes(rng, 400, EXTENT, 12)
+        s = uniform_boxes(rng, 400, EXTENT, 12)
+        rh = SpatialHistogram.build(r, 25, EXTENT)
+        sh = SpatialHistogram.build(s, 25, EXTENT)
+        truth = len(plane_sweep_mbr_join(r, s))
+        estimate = estimate_join_candidates(rh, sh)
+        assert truth * 0.4 <= estimate <= truth * 2.5
+
+    def test_scenario_join_estimate_same_order(self):
+        r = [p.bbox for p in load_dataset("OLE", 0.5).polygons]
+        s = [p.bbox for p in load_dataset("OPE", 0.5).polygons]
+        extent = Box.union_all(r + s).expanded(1e-9)
+        rh = SpatialHistogram.build(r, 25, extent)
+        sh = SpatialHistogram.build(s, 25, extent)
+        truth = len(plane_sweep_mbr_join(r, s))
+        estimate = estimate_join_candidates(rh, sh)
+        # Skewed real-ish data: demand the right order of magnitude.
+        assert truth / 10 <= estimate <= truth * 10
+
+    def test_mismatched_histograms_rejected(self):
+        a = SpatialHistogram.build([Box(0, 0, 1, 1)], 10, EXTENT)
+        b = SpatialHistogram.build([Box(0, 0, 1, 1)], 20, EXTENT)
+        with pytest.raises(ValueError):
+            estimate_join_candidates(a, b)

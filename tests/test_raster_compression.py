@@ -1,0 +1,80 @@
+"""Tests for the varint interval-list codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, Polygon
+from repro.raster import RasterGrid, build_april
+from repro.raster.compression import (
+    compression_ratio,
+    decode_approximation,
+    decode_intervals,
+    encode_approximation,
+    encode_intervals,
+)
+from repro.raster.intervals import IntervalList
+
+
+class TestCodec:
+    def test_empty_list(self):
+        data = encode_intervals(IntervalList())
+        back, pos = decode_intervals(data)
+        assert len(back) == 0 and pos == len(data)
+
+    def test_roundtrip_simple(self):
+        il = IntervalList([(3, 7), (10, 11), (100000, 100500)])
+        back, _ = decode_intervals(encode_intervals(il))
+        assert back == il
+
+    def test_concatenated_streams(self):
+        a = IntervalList([(1, 5)])
+        b = IntervalList([(2, 3), (9, 12)])
+        blob = encode_intervals(a) + encode_intervals(b)
+        got_a, pos = decode_intervals(blob)
+        got_b, pos = decode_intervals(blob, pos)
+        assert got_a == a and got_b == b and pos == len(blob)
+
+    def test_truncated_raises(self):
+        data = encode_intervals(IntervalList([(5, 9)]))
+        with pytest.raises(ValueError):
+            decode_intervals(data[:-1])
+
+    @given(st.sets(st.integers(0, 5000), max_size=60))
+    @settings(max_examples=120)
+    def test_roundtrip_random(self, cells):
+        il = IntervalList.from_cells(cells)
+        back, pos = decode_intervals(encode_intervals(il))
+        assert back == il
+
+    def test_large_ids_no_overflow(self):
+        il = IntervalList([(2**40, 2**40 + 17)])
+        back, _ = decode_intervals(encode_intervals(il))
+        assert back == il
+
+
+class TestApproximationCodec:
+    GRID = RasterGrid(Box(0, 0, 64, 64), order=8)
+
+    def test_roundtrip(self):
+        approx = build_april(Polygon.box(5, 5, 30, 30), self.GRID)
+        blob = encode_approximation(approx)
+        back, pos = decode_approximation(blob, self.GRID)
+        assert back.p == approx.p and back.c == approx.c
+        assert pos == len(blob)
+
+    def test_compression_beats_plain_storage(self):
+        approx = build_april(Polygon.box(5, 5, 60, 60), self.GRID)
+        ratio = compression_ratio(approx)
+        assert ratio > 2.0  # delta+varint should shrink 16-byte intervals a lot
+        assert len(encode_approximation(approx)) < approx.nbytes
+
+    def test_many_objects_blob(self):
+        polys = [Polygon.box(i, i, i + 5, i + 5) for i in range(0, 40, 7)]
+        approx = [build_april(p, self.GRID) for p in polys]
+        blob = b"".join(encode_approximation(a) for a in approx)
+        pos = 0
+        for a in approx:
+            back, pos = decode_approximation(blob, self.GRID, pos)
+            assert back.p == a.p and back.c == a.c
+        assert pos == len(blob)

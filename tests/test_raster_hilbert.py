@@ -1,0 +1,83 @@
+"""Unit and property tests for the Hilbert curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
+
+
+class TestScalar:
+    def test_order1_layout(self):
+        # Order-1 curve visits the four cells in a U shape.
+        positions = {(x, y): hilbert_xy2d(1, x, y) for x in (0, 1) for y in (0, 1)}
+        assert sorted(positions.values()) == [0, 1, 2, 3]
+        assert positions[(0, 0)] == 0
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_bijection(self, order):
+        n = 1 << order
+        seen = set()
+        for x in range(n):
+            for y in range(n):
+                d = hilbert_xy2d(order, x, y)
+                assert hilbert_d2xy(order, d) == (x, y)
+                seen.add(d)
+        assert seen == set(range(n * n))
+
+    @pytest.mark.parametrize("order", [2, 4, 6])
+    def test_consecutive_positions_are_adjacent_cells(self, order):
+        n = 1 << order
+        prev = hilbert_d2xy(order, 0)
+        for d in range(1, n * n):
+            cur = hilbert_d2xy(order, d)
+            assert abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) == 1
+            prev = cur
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d(3, 8, 0)
+        with pytest.raises(ValueError):
+            hilbert_xy2d(3, 0, -1)
+        with pytest.raises(ValueError):
+            hilbert_d2xy(3, 64)
+
+    @given(st.integers(1, 16), st.data())
+    @settings(max_examples=80)
+    def test_roundtrip_random(self, order, data):
+        n = 1 << order
+        x = data.draw(st.integers(0, n - 1))
+        y = data.draw(st.integers(0, n - 1))
+        d = hilbert_xy2d(order, x, y)
+        assert 0 <= d < n * n
+        assert hilbert_d2xy(order, d) == (x, y)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("order", [1, 4, 8, 16])
+    def test_bulk_matches_scalar(self, order):
+        rng = np.random.default_rng(42)
+        n = 1 << order
+        xs = rng.integers(0, n, size=200)
+        ys = rng.integers(0, n, size=200)
+        bulk = hilbert_xy2d_bulk(order, xs, ys)
+        for i in range(xs.size):
+            assert bulk[i] == hilbert_xy2d(order, int(xs[i]), int(ys[i]))
+
+    def test_empty_input(self):
+        out = hilbert_xy2d_bulk(4, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert out.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d_bulk(4, np.arange(3), np.arange(4))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d_bulk(2, np.array([4]), np.array([0]))
+
+    def test_order16_no_overflow(self):
+        n = 1 << 16
+        out = hilbert_xy2d_bulk(16, np.array([n - 1]), np.array([0]))
+        assert 0 <= int(out[0]) < n * n

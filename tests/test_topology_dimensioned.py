@@ -1,0 +1,82 @@
+"""Tests for dimensioned DE-9IM strings and relate_pattern."""
+
+import pytest
+
+from repro.geometry import Polygon
+from repro.topology import relate_dimensioned, relate_pattern
+
+SQUARE = Polygon.box(0, 0, 10, 10)
+
+
+class TestDimensionedStrings:
+    def test_disjoint(self):
+        assert relate_dimensioned(SQUARE, Polygon.box(20, 20, 30, 30)) == "FF2FF1212"
+
+    def test_equal(self):
+        # II=2, identical boundaries coincide fully (BB=1), nothing else.
+        assert relate_dimensioned(SQUARE, Polygon.box(0, 0, 10, 10)) == "2FFF1FFF2"
+
+    def test_proper_overlap(self):
+        assert relate_dimensioned(SQUARE, Polygon.box(5, 5, 15, 15)) == "212101212"
+
+    def test_inside(self):
+        # II=2, IB=F, IE=F, BI=1, BB=F, BE=F, EI=2, EB=1, EE=2.
+        assert relate_dimensioned(Polygon.box(2, 2, 5, 5), SQUARE) == "2FF1FF212"
+
+    def test_meets_edge_dim1(self):
+        got = relate_dimensioned(SQUARE, Polygon.box(10, 0, 20, 10))
+        assert got[4] == "1"  # shared border segment
+        assert got == "FF2F11212"
+
+    def test_meets_corner_dim0(self):
+        got = relate_dimensioned(SQUARE, Polygon.box(10, 10, 20, 20))
+        assert got[4] == "0"  # single shared point
+        assert got == "FF2F01212"
+
+    def test_covered_by_mixed(self):
+        got = relate_dimensioned(Polygon.box(0, 2, 5, 5), SQUARE)
+        # II=2, boundary partially on boundary (1-dim) and inside.
+        assert got[0] == "2" and got[4] == "1" and got[2] == "F" and got[5] == "F"
+
+    def test_ee_always_2(self):
+        for other in (SQUARE, Polygon.box(20, 20, 30, 30), Polygon.box(2, 2, 5, 5)):
+            assert relate_dimensioned(SQUARE, other)[8] == "2"
+
+
+class TestRelatePattern:
+    def test_t_matches_any_dimension(self):
+        assert relate_pattern(SQUARE, Polygon.box(5, 5, 15, 15), "T*T***T**")
+
+    def test_exact_digit_match(self):
+        assert relate_pattern(SQUARE, Polygon.box(10, 0, 20, 10), "FF*F1****")
+        assert not relate_pattern(SQUARE, Polygon.box(10, 0, 20, 10), "FF*F0****")
+
+    def test_equals_ogc_pattern(self):
+        assert relate_pattern(SQUARE, Polygon.box(0, 0, 10, 10), "T*F**FFF*")
+
+    def test_f_mismatch(self):
+        assert not relate_pattern(SQUARE, Polygon.box(5, 5, 15, 15), "FF*FF****")
+
+    def test_star_pattern_always_true(self):
+        assert relate_pattern(SQUARE, Polygon.box(99, 99, 100, 100), "*********")
+
+    @pytest.mark.parametrize("bad", ["TTT", "T*F**FFFX", "", "T*F**FFF*T"])
+    def test_invalid_pattern_rejected(self, bad):
+        with pytest.raises(ValueError):
+            relate_pattern(SQUARE, SQUARE, bad)
+
+    def test_consistent_with_boolean_masks(self):
+        """A dimensioned string reduced to T/F matches the boolean code."""
+        from repro.topology import relate
+
+        pairs = [
+            (SQUARE, Polygon.box(5, 5, 15, 15)),
+            (SQUARE, Polygon.box(20, 20, 30, 30)),
+            (SQUARE, Polygon.box(10, 0, 20, 10)),
+            (Polygon.box(2, 2, 5, 5), SQUARE),
+        ]
+        for r, s in pairs:
+            dims = relate_dimensioned(r, s)
+            bools = relate(r, s).code
+            reduced = "".join("F" if c == "F" else "T" for c in dims)
+            assert reduced == bools

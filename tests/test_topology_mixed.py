@@ -1,0 +1,222 @@
+"""Tests for mixed-dimension DE-9IM (points, lines, areas)."""
+
+import pytest
+
+from repro.geometry import MultiPolygon, Polygon
+from repro.geometry.linestring import LineString
+from repro.topology.de9im import DE9IM
+from repro.topology.mixed import intersects_mixed, relate_mixed
+
+SQUARE = Polygon.box(0, 0, 10, 10)
+
+
+class TestLineString:
+    def test_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            LineString([(1, 1), (1, 1)])
+
+    def test_dedupes(self):
+        line = LineString([(0, 0), (0, 0), (1, 1), (2, 2)])
+        assert len(line) == 3
+
+    def test_closed_has_no_boundary(self):
+        ringy = LineString([(0, 0), (4, 0), (4, 4), (0, 0)])
+        assert ringy.is_closed
+        assert ringy.endpoints == ()
+
+    def test_open_endpoints(self):
+        line = LineString([(0, 0), (5, 5)])
+        assert line.endpoints == ((0, 0), (5, 5))
+        assert line.length == pytest.approx(50**0.5)
+
+    def test_covers_point(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.covers_point((5, 0))
+        assert line.covers_point((0, 0))
+        assert not line.covers_point((5, 1))
+
+    def test_point_on_interior(self):
+        line = LineString([(0, 0), (10, 0)])
+        assert line.point_on_interior((5, 0))
+        assert not line.point_on_interior((0, 0))
+
+    def test_is_simple(self):
+        assert LineString([(0, 0), (5, 0), (5, 5)]).is_simple()
+        assert not LineString([(0, 0), (4, 4), (4, 0), (0, 4)]).is_simple()
+        ringy = LineString([(0, 0), (4, 0), (4, 4), (0, 0)])
+        assert ringy.is_simple()
+
+    def test_equality_orientation_free(self):
+        assert LineString([(0, 0), (5, 5)]) == LineString([(5, 5), (0, 0)])
+        assert hash(LineString([(0, 0), (5, 5)])) == hash(LineString([(5, 5), (0, 0)]))
+
+
+class TestPointCases:
+    def test_point_point_equal(self):
+        assert relate_mixed((1.0, 2.0), (1.0, 2.0)) == DE9IM("TFFFFFFFT")
+
+    def test_point_point_distinct(self):
+        assert relate_mixed((1.0, 2.0), (3.0, 4.0)) == DE9IM("FFTFFFTFT")
+
+    def test_point_in_polygon_interior(self):
+        m = relate_mixed((5.0, 5.0), SQUARE)
+        assert m.II and not m.IB and not m.IE
+        assert m.EI and m.EB and m.EE
+
+    def test_point_on_polygon_boundary(self):
+        m = relate_mixed((0.0, 5.0), SQUARE)
+        assert not m.II and m.IB and not m.IE
+
+    def test_point_outside_polygon(self):
+        m = relate_mixed((20.0, 20.0), SQUARE)
+        assert m.IE and not m.II and not m.IB
+
+    def test_polygon_point_transpose(self):
+        assert relate_mixed(SQUARE, (5.0, 5.0)) == relate_mixed((5.0, 5.0), SQUARE).transposed()
+
+    def test_point_on_line_interior(self):
+        line = LineString([(0, 0), (10, 0)])
+        m = relate_mixed((5.0, 0.0), line)
+        assert m.II and not m.IB and not m.IE
+        assert m.EB  # the line's endpoints escape the point
+
+    def test_point_on_line_endpoint(self):
+        m = relate_mixed((0.0, 0.0), LineString([(0, 0), (10, 0)]))
+        assert m.IB and not m.II
+
+    def test_point_vs_closed_line_has_no_eb(self):
+        ringy = LineString([(0, 0), (4, 0), (4, 4), (0, 0)])
+        m = relate_mixed((2.0, 0.0), ringy)
+        assert m.II  # closed line: every curve point is interior
+        assert not m.EB
+
+
+class TestLineArea:
+    def test_line_crossing_polygon(self):
+        line = LineString([(-5, 5), (15, 5)])
+        m = relate_mixed(line, SQUARE)
+        assert m.II and m.IB and m.IE
+        assert m.BE and not m.BI
+        assert m.code[8] == "T"
+
+    def test_line_inside_polygon(self):
+        line = LineString([(2, 2), (8, 8)])
+        m = relate_mixed(line, SQUARE)
+        assert m.II and not m.IE and not m.IB
+        assert m.BI and not m.BE
+        assert m.EI and m.EB
+
+    def test_line_along_boundary(self):
+        line = LineString([(0, 0), (10, 0)])
+        m = relate_mixed(line, SQUARE)
+        assert m.IB and not m.II and not m.IE
+        assert m.BB and not m.BI and not m.BE
+
+    def test_line_touching_corner(self):
+        line = LineString([(-5, -5), (0, 0)])
+        m = relate_mixed(line, SQUARE)
+        assert m.BB and not m.II
+        assert m.IE  # most of the line is outside
+
+    def test_line_outside(self):
+        line = LineString([(20, 20), (30, 30)])
+        m = relate_mixed(line, SQUARE)
+        assert not intersects_mixed(line, SQUARE)
+        assert m.IE and m.BE
+
+    def test_line_entering_through_edge(self):
+        line = LineString([(5, 5), (15, 5)])  # starts inside, exits right
+        m = relate_mixed(line, SQUARE)
+        assert m.II and m.IB and m.IE
+        assert m.BI and m.BE
+
+    def test_line_vs_donut_hole(self):
+        donut = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(3, 3), (7, 3), (7, 7), (3, 7)]]
+        )
+        inside_hole = LineString([(4, 4), (6, 6)])
+        m = relate_mixed(inside_hole, donut)
+        assert not m.II and m.IE  # the hole is exterior
+
+    def test_line_vs_multipolygon(self):
+        multi = MultiPolygon([Polygon.box(0, 0, 4, 4), Polygon.box(10, 0, 14, 4)])
+        bridge = LineString([(2, 2), (12, 2)])  # crosses the gap
+        m = relate_mixed(bridge, multi)
+        assert m.II and m.IE and m.IB
+        assert m.BI
+
+    def test_area_line_transpose(self):
+        line = LineString([(-5, 5), (15, 5)])
+        assert relate_mixed(SQUARE, line) == relate_mixed(line, SQUARE).transposed()
+
+
+class TestLineLine:
+    def test_crossing(self):
+        a = LineString([(0, 0), (10, 10)])
+        b = LineString([(0, 10), (10, 0)])
+        m = relate_mixed(a, b)
+        assert m.II and m.IE and m.EI
+        assert not m.BB
+
+    def test_disjoint(self):
+        a = LineString([(0, 0), (1, 1)])
+        b = LineString([(5, 5), (6, 6)])
+        assert relate_mixed(a, b).code == "FFTFFTTTT"
+
+    def test_shared_endpoint(self):
+        a = LineString([(0, 0), (5, 5)])
+        b = LineString([(5, 5), (10, 0)])
+        m = relate_mixed(a, b)
+        assert m.BB and not m.II
+
+    def test_endpoint_touching_interior(self):
+        a = LineString([(0, 0), (5, 0)])
+        b = LineString([(5, 0), (5, 10)])  # wait: shares endpoint
+        m = relate_mixed(a, b)
+        assert m.BB
+
+    def test_t_junction(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, 0), (5, 10)])
+        m = relate_mixed(a, b)
+        assert m.IB  # a's interior meets b's boundary endpoint (5,0)
+        assert not m.II
+
+    def test_collinear_overlap(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, 0), (15, 0)])
+        m = relate_mixed(a, b)
+        assert m.II  # the shared stretch
+        assert m.IE and m.EI  # and both have private stretches
+
+    def test_identical_lines(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(0, 0), (10, 0)])
+        m = relate_mixed(a, b)
+        assert m.II and m.BB
+        assert not m.IE and not m.EI and not m.BE and not m.EB
+
+    def test_sub_line(self):
+        a = LineString([(2, 0), (8, 0)])
+        b = LineString([(0, 0), (10, 0)])
+        m = relate_mixed(a, b)
+        assert m.II and not m.IE
+        assert m.EI  # b extends beyond a
+        assert m.BI  # a's endpoints are interior to b
+
+    def test_transpose_symmetry(self):
+        a = LineString([(0, 0), (10, 0)])
+        b = LineString([(5, 0), (5, 10)])
+        assert relate_mixed(a, b).transposed() == relate_mixed(b, a)
+
+
+class TestDispatch:
+    def test_area_area_falls_back(self):
+        from repro.topology import relate
+
+        got = relate_mixed(SQUARE, Polygon.box(5, 5, 15, 15))
+        assert got == relate(SQUARE, Polygon.box(5, 5, 15, 15))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            relate_mixed("not a geometry", SQUARE)

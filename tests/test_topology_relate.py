@@ -1,0 +1,240 @@
+"""Integration and property tests for the DE-9IM relate engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Polygon
+from repro.topology import TopologicalRelation as T, most_specific_relation, relate
+
+
+def rel(r, s):
+    return most_specific_relation(relate(r, s))
+
+
+def regular(n, cx=0.0, cy=0.0, radius=1.0):
+    return Polygon(
+        [
+            (cx + radius * math.cos(2 * math.pi * i / n), cy + radius * math.sin(2 * math.pi * i / n))
+            for i in range(n)
+        ]
+    )
+
+
+SQUARE = Polygon.box(0, 0, 10, 10)
+DONUT = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)], [[(2, 2), (8, 2), (8, 8), (2, 8)]])
+
+
+class TestCanonicalPairs:
+    def test_disjoint(self):
+        assert rel(SQUARE, Polygon.box(20, 20, 30, 30)) is T.DISJOINT
+
+    def test_disjoint_matrix_code(self):
+        assert relate(SQUARE, Polygon.box(20, 20, 30, 30)).code == "FFTFFTTTT"
+
+    def test_disjoint_overlapping_mbrs(self):
+        # Two thin triangles in opposite corners of the same MBR region.
+        a = Polygon([(0, 0), (4, 0), (0, 4)])
+        b = Polygon([(10, 10), (6, 10), (10, 6)])
+        assert rel(a, b) is T.DISJOINT
+
+    def test_equals(self):
+        assert rel(SQUARE, Polygon.box(0, 0, 10, 10)) is T.EQUALS
+
+    def test_equals_different_start_vertex(self):
+        rotated = Polygon([(10, 0), (10, 10), (0, 10), (0, 0)])
+        assert rel(SQUARE, rotated) is T.EQUALS
+
+    def test_equals_extra_collinear_vertex(self):
+        redundant = Polygon([(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)])
+        assert rel(SQUARE, redundant) is T.EQUALS
+
+    def test_inside(self):
+        assert rel(Polygon.box(2, 2, 5, 5), SQUARE) is T.INSIDE
+
+    def test_contains(self):
+        assert rel(SQUARE, Polygon.box(2, 2, 5, 5)) is T.CONTAINS
+
+    def test_covered_by_edge_touch(self):
+        assert rel(Polygon.box(0, 2, 5, 5), SQUARE) is T.COVERED_BY
+
+    def test_covered_by_corner_touch(self):
+        assert rel(Polygon([(0, 0), (5, 0), (0, 5)]), SQUARE) is T.COVERED_BY
+
+    def test_covers(self):
+        assert rel(SQUARE, Polygon.box(0, 2, 5, 5)) is T.COVERS
+
+    def test_meets_shared_edge(self):
+        assert rel(SQUARE, Polygon.box(10, 0, 20, 10)) is T.MEETS
+
+    def test_meets_partial_shared_edge(self):
+        assert rel(SQUARE, Polygon.box(10, 3, 20, 7)) is T.MEETS
+
+    def test_meets_corner_point(self):
+        assert rel(SQUARE, Polygon.box(10, 10, 20, 20)) is T.MEETS
+
+    def test_meets_vertex_on_edge(self):
+        spike = Polygon([(10, 5), (15, 3), (15, 7)])
+        assert rel(SQUARE, spike) is T.MEETS
+
+    def test_overlap(self):
+        assert rel(SQUARE, Polygon.box(5, 5, 15, 15)) is T.INTERSECTS
+
+    def test_overlap_crossing_strips(self):
+        tall = Polygon.box(4, -5, 6, 15)
+        assert rel(SQUARE, tall) is T.INTERSECTS
+
+    def test_triangle_star_overlap(self):
+        t1 = Polygon([(0, 0), (10, 0), (5, 9)])
+        t2 = Polygon([(0, 6), (10, 6), (5, -3)])
+        assert rel(t1, t2) is T.INTERSECTS
+
+
+class TestHoles:
+    def test_polygon_in_hole_disjoint(self):
+        assert rel(Polygon.box(4, 4, 6, 6), DONUT) is T.DISJOINT
+
+    def test_polygon_touching_hole_ring_meets(self):
+        assert rel(Polygon.box(2, 4, 4, 6), DONUT) is T.MEETS
+
+    def test_polygon_crossing_hole_ring(self):
+        assert rel(Polygon.box(1, 4, 4, 6), DONUT) is T.INTERSECTS
+
+    def test_polygon_covering_hole_and_ring(self):
+        assert rel(Polygon.box(1, 1, 9, 9), DONUT) is T.INTERSECTS
+
+    def test_donut_covered_by_outer(self):
+        assert rel(DONUT, SQUARE) is T.COVERED_BY
+
+    def test_donut_inside_bigger(self):
+        assert rel(DONUT, Polygon.box(-1, -1, 11, 11)) is T.INSIDE
+
+    def test_donut_contains_small_in_band(self):
+        assert rel(DONUT, Polygon.box(0.5, 0.5, 1.5, 1.5)) is T.CONTAINS
+
+    def test_square_covers_donut(self):
+        assert rel(SQUARE, DONUT) is T.COVERS
+
+    def test_ring_in_ring(self):
+        outer = DONUT
+        inner = Polygon(
+            [(2.5, 2.5), (7.5, 2.5), (7.5, 7.5), (2.5, 7.5)],
+            [[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        # inner lies entirely within outer's hole -> disjoint
+        assert rel(inner, outer) is T.DISJOINT
+
+    def test_donut_equal_donut(self):
+        other = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(2, 2), (8, 2), (8, 8), (2, 8)]]
+        )
+        assert rel(DONUT, other) is T.EQUALS
+
+    def test_hole_boundaries_touch(self):
+        # Same shell, the second donut's hole is smaller and shares one edge.
+        other = Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], [[(2, 2), (5, 2), (5, 5), (2, 5)]]
+        )
+        # DONUT subset of other? other has smaller hole => other covers DONUT.
+        assert rel(DONUT, other) is T.COVERED_BY
+        assert rel(other, DONUT) is T.COVERS
+
+
+class TestSymmetryProperties:
+    PAIRS = [
+        (SQUARE, Polygon.box(20, 20, 30, 30)),
+        (SQUARE, Polygon.box(0, 0, 10, 10)),
+        (Polygon.box(2, 2, 5, 5), SQUARE),
+        (Polygon.box(0, 2, 5, 5), SQUARE),
+        (SQUARE, Polygon.box(10, 0, 20, 10)),
+        (SQUARE, Polygon.box(5, 5, 15, 15)),
+        (Polygon.box(4, 4, 6, 6), DONUT),
+        (DONUT, SQUARE),
+        (Polygon([(0, 0), (10, 0), (5, 9)]), Polygon([(0, 6), (10, 6), (5, -3)])),
+    ]
+
+    @pytest.mark.parametrize("r,s", PAIRS)
+    def test_relate_transpose_symmetry(self, r, s):
+        assert relate(r, s).transposed() == relate(s, r)
+
+    @pytest.mark.parametrize("r,s", PAIRS)
+    def test_relation_inverse_symmetry(self, r, s):
+        assert rel(r, s).inverse is rel(s, r)
+
+    @pytest.mark.parametrize("r,s", PAIRS)
+    def test_translation_invariance(self, r, s):
+        moved_r = r.translated(13.5, -7.25)
+        moved_s = s.translated(13.5, -7.25)
+        assert relate(moved_r, moved_s) == relate(r, s)
+
+    @pytest.mark.parametrize("r,s", PAIRS)
+    def test_scaling_invariance(self, r, s):
+        assert relate(r.scaled(3.0, (0, 0)), s.scaled(3.0, (0, 0))) == relate(r, s)
+
+    @pytest.mark.parametrize("r,s", PAIRS)
+    def test_ee_always_true(self, r, s):
+        assert relate(r, s).EE
+
+
+class TestRandomisedBoxes:
+    """Ground truth for axis-aligned boxes is computable analytically."""
+
+    @staticmethod
+    def box_relation(a, b):
+        ax1, ay1, ax2, ay2 = a
+        bx1, by1, bx2, by2 = b
+        if ax2 < bx1 or bx2 < ax1 or ay2 < by1 or by2 < ay1:
+            return T.DISJOINT
+        if a == b:
+            return T.EQUALS
+        inside = bx1 <= ax1 and ax2 <= bx2 and by1 <= ay1 and ay2 <= by2
+        contains = ax1 <= bx1 and bx2 <= ax2 and ay1 <= by1 and by2 <= ay2
+        if inside:
+            strict = bx1 < ax1 and ax2 < bx2 and by1 < ay1 and ay2 < by2
+            return T.INSIDE if strict else T.COVERED_BY
+        if contains:
+            strict = ax1 < bx1 and bx2 < ax2 and ay1 < by1 and by2 < ay2
+            return T.CONTAINS if strict else T.COVERS
+        # Shared region degenerate -> touch only.
+        ix = min(ax2, bx2) - max(ax1, bx1)
+        iy = min(ay2, by2) - max(ay1, by1)
+        if ix == 0 or iy == 0:
+            return T.MEETS
+        return T.INTERSECTS
+
+    @given(
+        st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(1, 8), st.integers(1, 8)),
+        st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(1, 8), st.integers(1, 8)),
+    )
+    @settings(max_examples=150)
+    def test_boxes_match_analytic_relation(self, spec_a, spec_b):
+        a = (spec_a[0], spec_a[1], spec_a[0] + spec_a[2], spec_a[1] + spec_a[3])
+        b = (spec_b[0], spec_b[1], spec_b[0] + spec_b[2], spec_b[1] + spec_b[3])
+        pa = Polygon.box(*a)
+        pb = Polygon.box(*b)
+        assert rel(pa, pb) is self.box_relation(a, b)
+
+
+class TestRandomisedPolygons:
+    @given(
+        st.integers(3, 14),
+        st.integers(3, 14),
+        st.floats(-3, 3),
+        st.floats(-3, 3),
+        st.floats(0.2, 2.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_regular_polygon_pairs_consistent(self, n1, n2, cx, cy, radius):
+        p1 = regular(n1, 0, 0, 2.0)
+        p2 = regular(n2, cx, cy, radius)
+        m12 = relate(p1, p2)
+        m21 = relate(p2, p1)
+        assert m12.transposed() == m21
+        # Distance-based sanity: far apart -> disjoint, concentric small -> inside.
+        d = math.hypot(cx, cy)
+        if d > radius + 2.0:
+            assert most_specific_relation(m12) is T.DISJOINT
+        if d + radius < 2.0 * math.cos(math.pi / n1) - 1e-9:
+            assert most_specific_relation(m21) in (T.INSIDE, T.COVERED_BY, T.EQUALS)

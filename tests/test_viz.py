@@ -1,0 +1,89 @@
+"""Tests for the SVG rendering module."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import Box, MultiPolygon, Polygon
+from repro.raster import RasterGrid, build_april
+from repro.viz import SvgCanvas, render_april, render_geometries, render_pair
+
+DONUT = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)], [[(3, 3), (7, 3), (7, 7), (3, 7)]])
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestCanvas:
+    def test_coordinate_flip(self):
+        canvas = SvgCanvas(Box(0, 0, 100, 100), width_px=132, margin_px=16)
+        # World (0, 0) maps to bottom-left; world (0, 100) to top-left.
+        x0, y0 = canvas.to_px(0, 0)
+        x1, y1 = canvas.to_px(0, 100)
+        assert x0 == x1 == 16
+        assert y0 > y1
+
+    def test_degenerate_world_padded(self):
+        canvas = SvgCanvas(Box(5, 5, 5, 5))
+        assert canvas.world.width > 0 and canvas.world.height > 0
+
+    def test_well_formed_output(self):
+        canvas = SvgCanvas(Box(0, 0, 10, 10))
+        canvas.add_polygon(DONUT)
+        canvas.add_box(DONUT.bbox)
+        canvas.add_label(5, 5, "a & b < c")
+        root = parse(canvas.to_string())
+        assert root.tag.endswith("svg")
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(Box(0, 0, 10, 10))
+        canvas.add_polygon(DONUT)
+        out = canvas.save(tmp_path / "fig.svg")
+        assert out.exists()
+        parse(out.read_text())
+
+    def test_hole_rendered_with_evenodd(self):
+        canvas = SvgCanvas(Box(0, 0, 10, 10))
+        canvas.add_polygon(DONUT)
+        svg = canvas.to_string()
+        assert "evenodd" in svg
+        # One path with two subpaths (two M commands).
+        assert svg.count("M ") == 2
+
+
+class TestRenderers:
+    def test_render_geometries(self):
+        svg = render_geometries([DONUT, Polygon.box(20, 0, 25, 5)], labels=["a", "b"])
+        root = parse(svg)
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        texts = [e for e in root.iter() if e.tag.endswith("text")]
+        assert len(paths) == 2 and len(texts) == 2
+
+    def test_render_geometries_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_geometries([])
+
+    def test_render_multipolygon(self):
+        multi = MultiPolygon([Polygon.box(0, 0, 4, 4), Polygon.box(10, 10, 14, 14)])
+        svg = render_geometries([multi])
+        root = parse(svg)
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        assert len(paths) == 2
+
+    def test_render_april_cells(self):
+        grid = RasterGrid(Box(0, 0, 16, 16), order=4)
+        poly = Polygon.box(2, 2, 9, 9)
+        approx = build_april(poly, grid)
+        svg = render_april(poly, approx)
+        root = parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + one rect per P/C cell.
+        assert len(rects) - 1 == approx.c.cell_count
+
+    def test_render_pair_shows_mbrs(self):
+        svg = render_pair(Polygon.box(2, 2, 4, 4), DONUT, "lake", "park")
+        root = parse(svg)
+        rects = [e for e in root.iter() if e.tag.endswith("rect") and e.get("stroke-dasharray")]
+        assert len(rects) == 2
+        assert "lake" in svg and "park" in svg
