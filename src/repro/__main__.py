@@ -28,6 +28,16 @@ from repro.geometry.multipolygon import MultiPolygon
 from repro.topology import TopologicalRelation, most_specific_relation, relate
 
 
+def _worker_count(value: str) -> int:
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be an integer, got {value!r}") from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
 def _load_geometries(path: str) -> list:
     """Load polygons/multipolygons from a .wkt or .geojson file."""
     p = Path(path)
@@ -65,7 +75,9 @@ def cmd_relate(args: argparse.Namespace) -> int:
 def cmd_join(args: argparse.Namespace) -> int:
     r = _load_geometries(args.r)
     s = _load_geometries(args.s)
-    join = TopologyJoin(r, s, grid_order=args.grid_order, method=args.method)
+    join = TopologyJoin(
+        r, s, grid_order=args.grid_order, method=args.method, workers=args.workers
+    )
     if args.predicate:
         predicate = _predicate(args.predicate)
         count = 0
@@ -108,14 +120,14 @@ def cmd_select(args: argparse.Namespace) -> int:
 
 def cmd_approximate(args: argparse.Namespace) -> int:
     from repro.geometry.box import Box
-    from repro.raster.april import build_april
-    from repro.raster.grid import RasterGrid
+    from repro.parallel import build_april_parallel
+    from repro.raster.grid import RasterGrid, pad_dataspace
     from repro.raster.storage import save_approximations
 
     data = _load_geometries(args.data)
-    extent = Box.union_all([g.bbox for g in data]).expanded(1e-9)
+    extent = pad_dataspace(Box.union_all([g.bbox for g in data]))
     grid = RasterGrid(extent, order=args.grid_order)
-    approximations = [build_april(g, grid) for g in data]
+    approximations = build_april_parallel(data, grid, workers=args.workers)
     save_approximations(args.out, approximations)
     total = sum(a.nbytes for a in approximations)
     print(
@@ -155,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--predicate", default=None, help="relate_p join instead of find-relation")
     p.add_argument("--grid-order", type=int, default=11)
     p.add_argument("--include-disjoint", action="store_true")
+    p.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for preprocessing + verification (default 1)",
+    )
     p.set_defaults(func=cmd_join)
 
     p = sub.add_parser("select", help="topological selection over one file")
@@ -168,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("data")
     p.add_argument("--out", required=True)
     p.add_argument("--grid-order", type=int, default=11)
+    p.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for rasterisation (default 1)",
+    )
     p.set_defaults(func=cmd_approximate)
 
     p = sub.add_parser("stats", help="dataset statistics")

@@ -10,8 +10,13 @@ Everything the paper's evaluation pipeline does, behind one class::
     join.stats("P+C")                                # JoinRunStats
 
 Preprocessing (APRIL construction) happens once, lazily, on the first
-join call; ``save_preprocessing`` / a ``preprocessed`` constructor
-argument persist it across runs.
+call that needs it — methods that never read APRIL data (``ST2``,
+``OP2``) skip rasterisation entirely; ``save_preprocessing`` / a
+``preprocessed`` constructor argument persist it across runs.
+
+With ``workers > 1`` both preprocessing and the per-pair verification
+stage fan out over a process pool (:mod:`repro.parallel`); results are
+identical to a serial run, in the same ``(i, j)`` order.
 """
 
 from __future__ import annotations
@@ -32,8 +37,13 @@ from repro.join.pipeline import (
     run_find_relation,
 )
 from repro.join.stats import JoinRunStats
+from repro.parallel import (
+    build_april_parallel,
+    run_find_relation_parallel,
+    run_relate_parallel,
+)
 from repro.raster.april import AprilApproximation, build_april
-from repro.raster.grid import RasterGrid
+from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.raster.storage import load_approximations, save_approximations
 from repro.topology.de9im import TopologicalRelation
 
@@ -63,6 +73,10 @@ class TopologyJoin:
     preprocessed:
         Optional pair of ``.npz`` paths (for r and s) previously written
         by :meth:`save_preprocessing`; skips rasterisation on load.
+    workers:
+        Process-pool size for preprocessing and verification. ``1``
+        (default) runs everything in-process; ``None`` picks a small
+        pool automatically. Results are identical for every value.
     """
 
     def __init__(
@@ -72,13 +86,17 @@ class TopologyJoin:
         grid_order: int = 11,
         method: str = "P+C",
         preprocessed: tuple[str | Path, str | Path] | None = None,
+        workers: int | None = 1,
     ) -> None:
         if method not in PIPELINES:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
         if not r_polygons or not s_polygons:
             raise ValueError("both inputs must be non-empty")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.method = method
         self.grid_order = grid_order
+        self.workers = workers
         self._r_polygons = list(r_polygons)
         self._s_polygons = list(s_polygons)
         self._preprocessed = preprocessed
@@ -88,9 +106,12 @@ class TopologyJoin:
     # ------------------------------------------------------------------
     @cached_property
     def grid(self) -> RasterGrid:
-        dataspace = Box.union_all(
-            [p.bbox for p in self._r_polygons] + [p.bbox for p in self._s_polygons]
-        ).expanded(1e-9)
+        dataspace = pad_dataspace(
+            Box.union_all(
+                [p.bbox for p in self._r_polygons]
+                + [p.bbox for p in self._s_polygons]
+            )
+        )
         return RasterGrid(dataspace, order=self.grid_order)
 
     @cached_property
@@ -100,6 +121,11 @@ class TopologyJoin:
     @cached_property
     def s_objects(self) -> list[SpatialObject]:
         return self._make_objects(self._s_polygons, side=1)
+
+    def _build_aprils(self, polygons: Sequence[Polygon]) -> list[AprilApproximation]:
+        if self.workers is None or self.workers > 1:
+            return build_april_parallel(polygons, self.grid, workers=self.workers)
+        return [build_april(p, self.grid) for p in polygons]
 
     def _make_objects(self, polygons: list[Polygon], side: int) -> list[SpatialObject]:
         approximations: list[AprilApproximation] | None = None
@@ -114,17 +140,27 @@ class TopologyJoin:
                 raise ValueError(
                     "preprocessed approximations were built on a different grid"
                 )
-        objects = []
-        for oid, polygon in enumerate(polygons):
-            april = (
-                approximations[oid]
-                if approximations is not None
-                else build_april(polygon, self.grid)
+        elif PIPELINES[self.method].uses_april:
+            approximations = self._build_aprils(polygons)
+        return [
+            SpatialObject(
+                oid=oid,
+                polygon=polygon,
+                box=polygon.bbox,
+                april=approximations[oid] if approximations is not None else None,
             )
-            objects.append(
-                SpatialObject(oid=oid, polygon=polygon, box=polygon.bbox, april=april)
-            )
-        return objects
+            for oid, polygon in enumerate(polygons)
+        ]
+
+    def _ensure_april(self) -> None:
+        """Backfill APRIL approximations an APRIL-free method skipped."""
+        for objects in (self.r_objects, self.s_objects):
+            missing = [o for o in objects if o.april is None]
+            if not missing:
+                continue
+            built = self._build_aprils([o.polygon for o in missing])
+            for obj, approx in zip(missing, built):
+                obj.april = approx
 
     @cached_property
     def candidate_pairs(self) -> list[tuple[int, int]]:
@@ -137,14 +173,35 @@ class TopologyJoin:
 
     def save_preprocessing(self, r_path: str | Path, s_path: str | Path) -> None:
         """Persist both inputs' APRIL approximations for future runs."""
+        self._ensure_april()
         save_approximations(r_path, [o.require_april() for o in self.r_objects])
         save_approximations(s_path, [o.require_april() for o in self.s_objects])
 
     # ------------------------------------------------------------------
     # joins
     # ------------------------------------------------------------------
+    @property
+    def _parallel(self) -> bool:
+        return self.workers is None or self.workers > 1
+
     def find_relations(self, include_disjoint: bool = False) -> Iterator[JoinResult]:
-        """Stream the most specific relation of every candidate pair."""
+        """Stream the most specific relation of every candidate pair,
+        in ``(i, j)`` order regardless of worker count."""
+        if self._parallel:
+            run = run_find_relation_parallel(
+                self.method,
+                self.r_objects,
+                self.s_objects,
+                self.candidate_pairs,
+                workers=self.workers,
+            )
+            for i, j, relation, filtered in run.results:
+                if relation is TopologicalRelation.DISJOINT and not include_disjoint:
+                    continue
+                yield JoinResult(
+                    r_index=i, s_index=j, relation=relation, filtered=filtered
+                )
+            return
         pipeline = PIPELINES[self.method]
         for i, j in self.candidate_pairs:
             outcome = pipeline.find_relation(self.r_objects[i], self.s_objects[j])
@@ -159,6 +216,17 @@ class TopologyJoin:
 
     def pairs_satisfying(self, predicate: TopologicalRelation) -> Iterator[tuple[int, int]]:
         """relate_p join: candidate pairs for which ``predicate`` holds."""
+        self._ensure_april()  # the relate_p filters always read APRIL
+        if self._parallel:
+            run = run_relate_parallel(
+                predicate,
+                self.r_objects,
+                self.s_objects,
+                self.candidate_pairs,
+                workers=self.workers,
+            )
+            yield from run.matches
+            return
         for i, j in self.candidate_pairs:
             holds, _ = relate_predicate(predicate, self.r_objects[i], self.s_objects[j])
             if holds:
@@ -166,8 +234,21 @@ class TopologyJoin:
 
     def stats(self, method: str | None = None) -> JoinRunStats:
         """Run the full join with stage timing and return its statistics."""
+        method = method or self.method
+        if method not in PIPELINES:
+            raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
+        if PIPELINES[method].uses_april:
+            self._ensure_april()
+        if self._parallel:
+            return run_find_relation_parallel(
+                method,
+                self.r_objects,
+                self.s_objects,
+                self.candidate_pairs,
+                workers=self.workers,
+            ).stats
         return run_find_relation(
-            method or self.method, self.r_objects, self.s_objects, self.candidate_pairs
+            method, self.r_objects, self.s_objects, self.candidate_pairs
         )
 
 

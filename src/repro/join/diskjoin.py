@@ -30,7 +30,7 @@ from repro.join.objects import SpatialObject
 from repro.join.pipeline import PIPELINES, Stage
 from repro.join.stats import JoinRunStats
 from repro.raster.april import build_april
-from repro.raster.grid import RasterGrid
+from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.topology.de9im import TopologicalRelation
 
 
@@ -137,7 +137,7 @@ class DiskPartitionedJoin:
     def run(self, include_disjoint: bool = False) -> tuple[list[DiskJoinResult], JoinRunStats]:
         """Join all tile pairs; returns deduplicated results and stats."""
         extent = self._load_meta()
-        grid = RasterGrid(extent.expanded(1e-9), order=self.grid_order)
+        grid = RasterGrid(pad_dataspace(extent), order=self.grid_order)
         tw = extent.width / self.tiles_per_dim
         th = extent.height / self.tiles_per_dim
 

@@ -17,6 +17,7 @@ product); the paper excludes this step's cost from all measurements.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.geometry.box import Box
@@ -67,6 +68,71 @@ def plane_sweep_mbr_join(
     return result
 
 
+@dataclass(frozen=True)
+class TileLayout:
+    """A uniform ``tiles_per_dim x tiles_per_dim`` partitioning grid.
+
+    Shared by :func:`grid_partitioned_mbr_join` and the parallel
+    executor's tile partitioner so that tile assignment and owner-tile
+    deduplication always use the *same* float arithmetic.
+    """
+
+    universe: Box
+    tiles_per_dim: int
+
+    @property
+    def tile_w(self) -> float:
+        return self.universe.width / self.tiles_per_dim or 1.0
+
+    @property
+    def tile_h(self) -> float:
+        return self.universe.height / self.tiles_per_dim or 1.0
+
+    def _clamp(self, value: int) -> int:
+        return min(self.tiles_per_dim - 1, max(0, value))
+
+    def tile_range(self, b: Box) -> tuple[int, int, int, int]:
+        """Inclusive clamped tile span ``(cx0, cy0, cx1, cy1)`` of a box."""
+        cx0 = self._clamp(int((b.xmin - self.universe.xmin) / self.tile_w))
+        cy0 = self._clamp(int((b.ymin - self.universe.ymin) / self.tile_h))
+        cx1 = self._clamp(int((b.xmax - self.universe.xmin) / self.tile_w))
+        cy1 = self._clamp(int((b.ymax - self.universe.ymin) / self.tile_h))
+        return cx0, cy0, cx1, cy1
+
+    def owner_tile(
+        self,
+        r_span: tuple[int, int, int, int],
+        s_span: tuple[int, int, int, int],
+    ) -> tuple[int, int]:
+        """Owner tile of an intersecting pair, from the boxes' tile spans.
+
+        The reference point ``(max(xmins), max(ymins))`` always lies in
+        the tile ``(max(cx0s), max(cy0s))`` *when computed with the same
+        arithmetic as* :meth:`tile_range`; deriving the owner from the
+        spans (rather than re-dividing the reference coordinates) keeps
+        it consistent by construction, and the final clamp into the
+        jointly-replicated span guarantees the owner is a tile both
+        boxes were hashed to even for edges landing exactly on tile
+        boundaries.
+        """
+        rx0, ry0, rx1, ry1 = r_span
+        sx0, sy0, sx1, sy1 = s_span
+        owner_x = min(max(rx0, sx0), rx1, sx1)
+        owner_y = min(max(ry0, sy0), ry1, sy1)
+        return owner_x, owner_y
+
+    @staticmethod
+    def for_boxes(
+        r_boxes: Sequence[Box],
+        s_boxes: Sequence[Box],
+        tiles_per_dim: int | None = None,
+    ) -> "TileLayout":
+        universe = Box.union_all([Box.union_all(r_boxes), Box.union_all(s_boxes)])
+        if tiles_per_dim is None:
+            tiles_per_dim = max(1, int(math.sqrt(len(r_boxes) + len(s_boxes)) / 2))
+        return TileLayout(universe, max(1, tiles_per_dim))
+
+
 def grid_partitioned_mbr_join(
     r_boxes: Sequence[Box],
     s_boxes: Sequence[Box],
@@ -77,58 +143,77 @@ def grid_partitioned_mbr_join(
     The dataspace is split into ``tiles_per_dim^2`` uniform tiles
     (defaulting to ``~sqrt(N)`` per dimension); every rectangle is
     replicated to each tile it overlaps; tiles are swept independently;
-    a pair is emitted only by the tile containing the top-left corner of
+    a pair is emitted only by the tile owning the lower-left corner of
     the pair's intersection (the *reference point*), so no duplicates.
+    The owner tile is derived from the boxes' replicated tile spans —
+    never from fresh float arithmetic — so a pair can never be assigned
+    to a tile it was not replicated to (which would silently drop it).
     """
     if not r_boxes or not s_boxes:
         return []
-    universe = Box.union_all([Box.union_all(r_boxes), Box.union_all(s_boxes)])
-    if tiles_per_dim is None:
-        tiles_per_dim = max(1, int(math.sqrt(len(r_boxes) + len(s_boxes)) / 2))
-    tiles_per_dim = max(1, tiles_per_dim)
-    tile_w = universe.width / tiles_per_dim or 1.0
-    tile_h = universe.height / tiles_per_dim or 1.0
+    layout = TileLayout.for_boxes(r_boxes, s_boxes, tiles_per_dim)
 
-    def tile_range(b: Box) -> tuple[int, int, int, int]:
-        cx0 = min(tiles_per_dim - 1, max(0, int((b.xmin - universe.xmin) / tile_w)))
-        cy0 = min(tiles_per_dim - 1, max(0, int((b.ymin - universe.ymin) / tile_h)))
-        cx1 = min(tiles_per_dim - 1, max(0, int((b.xmax - universe.xmin) / tile_w)))
-        cy1 = min(tiles_per_dim - 1, max(0, int((b.ymax - universe.ymin) / tile_h)))
-        return cx0, cy0, cx1, cy1
-
-    tiles_r: dict[tuple[int, int], list[tuple[int, Box]]] = {}
-    tiles_s: dict[tuple[int, int], list[tuple[int, Box]]] = {}
+    Entry = tuple[int, Box, tuple[int, int, int, int]]
+    tiles_r: dict[tuple[int, int], list[Entry]] = {}
+    tiles_s: dict[tuple[int, int], list[Entry]] = {}
     for store, boxes in ((tiles_r, r_boxes), (tiles_s, s_boxes)):
         for idx, b in enumerate(boxes):
-            cx0, cy0, cx1, cy1 = tile_range(b)
+            span = layout.tile_range(b)
+            cx0, cy0, cx1, cy1 = span
             for tx in range(cx0, cx1 + 1):
                 for ty in range(cy0, cy1 + 1):
-                    store.setdefault((tx, ty), []).append((idx, b))
+                    store.setdefault((tx, ty), []).append((idx, b, span))
 
     result: list[tuple[int, int]] = []
     for key, r_items in tiles_r.items():
         s_items = tiles_s.get(key)
         if not s_items:
             continue
-        tx, ty = key
-        tile_xmin = universe.xmin + tx * tile_w
-        tile_ymin = universe.ymin + ty * tile_h
-        for i, rb in r_items:
-            for j, sb in s_items:
+        for i, rb, r_span in r_items:
+            for j, sb, s_span in s_items:
                 if not rb.intersects(sb):
                     continue
-                # Reference point: lower-left corner of the intersection.
-                ref_x = max(rb.xmin, sb.xmin)
-                ref_y = max(rb.ymin, sb.ymin)
-                owner_x = min(tiles_per_dim - 1, max(0, int((ref_x - universe.xmin) / tile_w)))
-                owner_y = min(tiles_per_dim - 1, max(0, int((ref_y - universe.ymin) / tile_h)))
-                if (owner_x, owner_y) == key:
+                if layout.owner_tile(r_span, s_span) == key:
                     result.append((i, j))
     return result
 
 
+def partition_pairs_by_tile(
+    r_boxes: Sequence[Box],
+    s_boxes: Sequence[Box],
+    pairs: Sequence[tuple[int, int]],
+    tiles_per_dim: int | None = None,
+) -> list[list[tuple[int, int]]]:
+    """Group candidate pairs into spatially coherent buckets.
+
+    Each pair is assigned to exactly one bucket — the owner tile of its
+    MBR intersection's reference point, computed with the same layout
+    arithmetic as :func:`grid_partitioned_mbr_join`. Buckets are
+    returned in row-major tile order; within a bucket, pairs keep their
+    input order. Used by the parallel executor's ``partition="tiles"``
+    mode, where spatial coherence improves worker cache locality.
+    """
+    if not pairs:
+        return []
+    layout = TileLayout.for_boxes(r_boxes, s_boxes, tiles_per_dim)
+    spans_r: dict[int, tuple[int, int, int, int]] = {}
+    spans_s: dict[int, tuple[int, int, int, int]] = {}
+    buckets: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for i, j in pairs:
+        r_span = spans_r.get(i)
+        if r_span is None:
+            r_span = spans_r[i] = layout.tile_range(r_boxes[i])
+        s_span = spans_s.get(j)
+        if s_span is None:
+            s_span = spans_s[j] = layout.tile_range(s_boxes[j])
+        buckets.setdefault(layout.owner_tile(r_span, s_span), []).append((i, j))
+    return [buckets[key] for key in sorted(buckets)]
+
+
 __all__ = [
+    "TileLayout",
     "brute_force_mbr_join",
     "grid_partitioned_mbr_join",
+    "partition_pairs_by_tile",
     "plane_sweep_mbr_join",
 ]

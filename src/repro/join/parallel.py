@@ -1,47 +1,20 @@
-"""Parallel find-relation execution over candidate-pair streams.
+"""Backward-compatible wrapper around :mod:`repro.parallel`.
 
-The paper's filter step builds on parallel in-memory spatial joins
-[39]; the verification stage parallelises even more naturally, since
-every candidate pair is independent. This module fans a pair stream out
-to worker processes (fork start method — the object lists are inherited
-copy-on-write, so nothing large is pickled per task).
-
-Timing semantics differ from the scalar runner: the returned stats
-carry *summed worker CPU time* in ``filter_seconds``/``refine_seconds``
-(comparable across methods), while the wall-clock speedup is what the
-second return value measures.
+The parallel executor grew into its own package (chunk *and* tile
+partitioning, relate_p support, parallel preprocessing, deterministic
+per-pair results). This module keeps the original ``(stats, wall)``
+call signature alive for existing callers; new code should import from
+:mod:`repro.parallel` directly.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
 from typing import Sequence
 
 from repro.join.objects import SpatialObject
-from repro.join.pipeline import PIPELINES, Pipeline, run_find_relation
+from repro.join.pipeline import Pipeline
 from repro.join.stats import JoinRunStats
-
-# Worker globals, installed by the pool initializer (fork inherits the
-# parent's objects; the initializer only records references).
-_WORKER: dict = {}
-
-
-def _init_worker(pipeline_name: str, r_objects, s_objects) -> None:
-    _WORKER["pipeline"] = PIPELINES[pipeline_name]
-    _WORKER["r_objects"] = r_objects
-    _WORKER["s_objects"] = s_objects
-
-
-def _process_chunk(chunk: list[tuple[int, int]]):
-    stats = run_find_relation(
-        _WORKER["pipeline"], _WORKER["r_objects"], _WORKER["s_objects"], chunk
-    )
-    # Geometry-access flags live in the worker's copy; report which
-    # object ids were touched so the parent can deduplicate.
-    r_ids = [o.oid for o in _WORKER["r_objects"] if o.geometry_accessed]
-    s_ids = [o.oid for o in _WORKER["s_objects"] if o.geometry_accessed]
-    return stats, r_ids, s_ids
+from repro.parallel.executor import run_find_relation_parallel as _run_parallel
 
 
 def run_find_relation_parallel(
@@ -54,47 +27,14 @@ def run_find_relation_parallel(
 ) -> tuple[JoinRunStats, float]:
     """Process ``pairs`` across ``workers`` processes.
 
-    Returns ``(stats, wall_seconds)``. ``stats`` aggregates the worker
-    runs (identical relation counts to a scalar run); ``wall_seconds``
-    is the end-to-end elapsed time including pool startup.
+    Returns ``(stats, wall_seconds)``; see
+    :func:`repro.parallel.run_find_relation_parallel` for the richer
+    result object this delegates to.
     """
-    name = pipeline if isinstance(pipeline, str) else pipeline.name
-    if name not in PIPELINES:
-        raise KeyError(f"unknown pipeline {name!r}")
-    pairs = list(pairs)
-    if workers is None:
-        workers = min(4, multiprocessing.cpu_count())
-    if workers <= 1 or len(pairs) < 2:
-        start = time.perf_counter()
-        stats = run_find_relation(name, r_objects, s_objects, pairs)
-        return stats, time.perf_counter() - start
-
-    if chunk_size is None:
-        chunk_size = max(1, len(pairs) // (workers * 4))
-    chunks = [pairs[k : k + chunk_size] for k in range(0, len(pairs), chunk_size)]
-
-    start = time.perf_counter()
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(name, list(r_objects), list(s_objects)),
-    ) as pool:
-        results = pool.map(_process_chunk, chunks)
-    wall = time.perf_counter() - start
-
-    merged = JoinRunStats(method=name)
-    touched_r: set[int] = set()
-    touched_s: set[int] = set()
-    for stats, r_ids, s_ids in results:
-        merged = merged.merge(stats)
-        touched_r.update(r_ids)
-        touched_s.update(s_ids)
-    merged.r_objects_total = len(r_objects)
-    merged.s_objects_total = len(s_objects)
-    merged.r_objects_accessed = len(touched_r)
-    merged.s_objects_accessed = len(touched_s)
-    return merged, wall
+    run = _run_parallel(
+        pipeline, r_objects, s_objects, pairs, workers=workers, chunk_size=chunk_size
+    )
+    return run.stats, run.wall_seconds
 
 
 __all__ = ["run_find_relation_parallel"]

@@ -76,22 +76,46 @@ class JoinRunStats:
         else:
             self.refined += 1
 
-    def merge(self, other: "JoinRunStats") -> "JoinRunStats":
-        """Combine two runs of the same method (e.g. across batches)."""
-        if other.method != self.method:
-            raise ValueError(f"cannot merge stats of {self.method} and {other.method}")
+    def merge(self, *others: "JoinRunStats") -> "JoinRunStats":
+        """Combine runs of the same method (e.g. across batches/workers).
+
+        Accepts any number of parts: ``whole = first.merge(*rest)``.
+        Counters, timings and relation counts are summed; the
+        object-access fields are summed too, which is correct for
+        *partitioned inputs* (disk-join tiles) but overcounts when the
+        parts share one object universe — partitioned *pair-stream*
+        executors must overwrite ``*_objects_total`` / ``*_accessed``
+        with deduplicated values after merging (the parallel executor
+        does exactly that).
+        """
         merged = JoinRunStats(method=self.method)
-        merged.pairs = self.pairs + other.pairs
-        merged.resolved_mbr = self.resolved_mbr + other.resolved_mbr
-        merged.resolved_if = self.resolved_if + other.resolved_if
-        merged.refined = self.refined + other.refined
-        merged.relation_counts = self.relation_counts + other.relation_counts
-        merged.filter_seconds = self.filter_seconds + other.filter_seconds
-        merged.refine_seconds = self.refine_seconds + other.refine_seconds
-        merged.r_objects_accessed = self.r_objects_accessed + other.r_objects_accessed
-        merged.s_objects_accessed = self.s_objects_accessed + other.s_objects_accessed
-        merged.r_objects_total = self.r_objects_total + other.r_objects_total
-        merged.s_objects_total = self.s_objects_total + other.s_objects_total
+        merged.pairs = self.pairs
+        merged.resolved_mbr = self.resolved_mbr
+        merged.resolved_if = self.resolved_if
+        merged.refined = self.refined
+        merged.relation_counts = Counter(self.relation_counts)
+        merged.filter_seconds = self.filter_seconds
+        merged.refine_seconds = self.refine_seconds
+        merged.r_objects_accessed = self.r_objects_accessed
+        merged.s_objects_accessed = self.s_objects_accessed
+        merged.r_objects_total = self.r_objects_total
+        merged.s_objects_total = self.s_objects_total
+        for other in others:
+            if other.method != self.method:
+                raise ValueError(
+                    f"cannot merge stats of {self.method} and {other.method}"
+                )
+            merged.pairs += other.pairs
+            merged.resolved_mbr += other.resolved_mbr
+            merged.resolved_if += other.resolved_if
+            merged.refined += other.refined
+            merged.relation_counts += other.relation_counts
+            merged.filter_seconds += other.filter_seconds
+            merged.refine_seconds += other.refine_seconds
+            merged.r_objects_accessed += other.r_objects_accessed
+            merged.s_objects_accessed += other.s_objects_accessed
+            merged.r_objects_total += other.r_objects_total
+            merged.s_objects_total += other.s_objects_total
         return merged
 
     def summary(self) -> str:

@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry.box import Box
+from repro.raster.grid import pad_dataspace
 
 DEFAULT_BUCKETS = 32
 
@@ -59,7 +60,7 @@ class SpatialHistogram:
         if buckets_per_dim < 1:
             raise ValueError("need at least one bucket per dimension")
         if extent is None:
-            extent = Box.union_all(boxes).expanded(1e-9)
+            extent = pad_dataspace(Box.union_all(boxes))
         counts = np.zeros((buckets_per_dim, buckets_per_dim))
         bw = extent.width / buckets_per_dim or 1.0
         bh = extent.height / buckets_per_dim or 1.0

@@ -1,0 +1,43 @@
+"""Partitioned parallel execution (multiprocessing).
+
+The paper's pipelines are embarrassingly parallel over candidate pairs,
+and partition-based parallelism is the winning strategy for in-memory
+spatial joins [39]. This package scales the three hot stages across
+cores:
+
+- :func:`run_find_relation_parallel` / :func:`run_relate_parallel` —
+  chunk or tile-partition the candidate-pair stream, evaluate
+  partitions in fork-based worker processes, merge deterministically in
+  ``(i, j)`` order.
+- :func:`build_april_parallel` — fan out APRIL rasterisation, the
+  dominant preprocessing cost.
+
+Everything degrades gracefully to the serial code path (``workers=1``,
+tiny inputs, platforms without ``fork``), and every parallel result is
+guaranteed identical to its serial counterpart.
+"""
+
+from repro.parallel.chunking import CHUNKS_PER_WORKER, chunk_pairs
+from repro.parallel.executor import (
+    PairOutcome,
+    ParallelFindRun,
+    ParallelRelateRun,
+    default_workers,
+    fork_available,
+    run_find_relation_parallel,
+    run_relate_parallel,
+)
+from repro.parallel.preprocess import build_april_parallel
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "PairOutcome",
+    "ParallelFindRun",
+    "ParallelRelateRun",
+    "build_april_parallel",
+    "chunk_pairs",
+    "default_workers",
+    "fork_available",
+    "run_find_relation_parallel",
+    "run_relate_parallel",
+]

@@ -1,0 +1,81 @@
+"""Parallel APRIL preprocessing.
+
+Rasterisation is the dominant preprocessing cost (the APRIL paper
+reports it dwarfing join time for fine grids), and every polygon is
+rasterised independently — a perfect fan-out. The polygon list is
+installed in a module global before the pool forks (copy-on-write
+inheritance, nothing pickled per task); only the interval lists travel
+back through the result pipe.
+
+Falls back to the serial loop for ``workers <= 1``, tiny inputs,
+platforms without ``fork``, and any pool failure (e.g. approximations
+that fail to pickle) — the fallback recomputes from scratch, so the
+caller always gets the exact serial result.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from typing import Sequence
+
+from repro.geometry.polygon import Polygon
+from repro.raster.april import AprilApproximation, build_april
+from repro.raster.grid import RasterGrid
+from repro.parallel.executor import default_workers, fork_available
+
+#: Below this input size the pool startup dominates; stay serial.
+MIN_PARALLEL_POLYGONS = 8
+
+_STATE: dict = {}
+
+
+def _build_span(span: tuple[int, int]) -> list[AprilApproximation]:
+    grid = _STATE["grid"]
+    polygons = _STATE["polygons"]
+    return [build_april(p, grid) for p in polygons[span[0] : span[1]]]
+
+
+def build_april_parallel(
+    polygons: Sequence[Polygon],
+    grid: RasterGrid,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[AprilApproximation]:
+    """APRIL approximations for ``polygons``, in input order.
+
+    Bit-identical to ``[build_april(p, grid) for p in polygons]`` for
+    every worker count.
+    """
+    polygons = list(polygons)
+    if workers is None:
+        workers = default_workers()
+    if (
+        workers <= 1
+        or len(polygons) < MIN_PARALLEL_POLYGONS
+        or not fork_available()
+    ):
+        return [build_april(p, grid) for p in polygons]
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(polygons) / (workers * 4)))
+    spans = [
+        (k, min(k + chunk_size, len(polygons)))
+        for k in range(0, len(polygons), chunk_size)
+    ]
+
+    ctx = multiprocessing.get_context("fork")
+    _STATE.update(polygons=polygons, grid=grid)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            parts = pool.map(_build_span, spans)
+    except Exception:
+        # Non-picklable results or pool breakage: redo serially. A
+        # genuinely broken polygon re-raises the same error here.
+        return [build_april(p, grid) for p in polygons]
+    finally:
+        _STATE.clear()
+    return [approx for part in parts for approx in part]
+
+
+__all__ = ["MIN_PARALLEL_POLYGONS", "build_april_parallel"]

@@ -11,7 +11,7 @@ the primitive operations of the paper's intermediate filters (Sec. 3.2).
 """
 
 from repro.raster.april import AprilApproximation, build_april
-from repro.raster.grid import RasterGrid
+from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
 from repro.raster.intervals import IntervalList
 from repro.raster.rasterize import RasterizationError, rasterize_polygon
@@ -25,5 +25,6 @@ __all__ = [
     "hilbert_d2xy",
     "hilbert_xy2d",
     "hilbert_xy2d_bulk",
+    "pad_dataspace",
     "rasterize_polygon",
 ]

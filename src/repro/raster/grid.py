@@ -22,6 +22,26 @@ from repro.geometry.box import Box
 from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
 
 
+def pad_dataspace(extent: Box) -> Box:
+    """Grow a dataset extent into a safe grid dataspace.
+
+    The margin is *relative* to the extent span: a fixed absolute pad
+    (the old ``expanded(1e-9)``) is below one ulp for large-magnitude
+    coordinate systems (web-mercator metres reach ~2e7, where one ulp
+    is ~4e-9), so the expansion would vanish in float arithmetic and
+    boundary vertices could rasterise out of range. An ulp-based term
+    keeps the margin representable even when a tiny extent sits far
+    from the origin, and an absolute floor handles degenerate
+    (zero-size) extents, so the padded box always has positive area.
+    """
+    span = max(extent.width, extent.height)
+    magnitude = max(
+        abs(extent.xmin), abs(extent.ymin), abs(extent.xmax), abs(extent.ymax), 1.0
+    )
+    margin = max(1e-9 * span, 4.0 * math.ulp(magnitude), 1e-9 if span == 0.0 else 0.0)
+    return extent.expanded(margin)
+
+
 @dataclass(frozen=True)
 class RasterGrid:
     """An order-``order`` Hilbert-enumerated grid over ``dataspace``.
@@ -119,4 +139,4 @@ class RasterGrid:
         return self == other
 
 
-__all__ = ["RasterGrid"]
+__all__ = ["RasterGrid", "pad_dataspace"]

@@ -104,6 +104,83 @@ class TestTopologyJoin:
         assert isinstance(link.filtered, bool)
 
 
+class TestGridEpsilon:
+    """Regression: the dataspace margin must register at any coordinate
+    magnitude (web-mercator metres reach ~2e7, where an absolute 1e-9
+    is below one ulp and vanishes in float arithmetic)."""
+
+    WEB_MERCATOR = 2.0e7
+
+    def _shifted_inputs(self):
+        base = self.WEB_MERCATOR
+        r = [Polygon.box(base, base, base + 64.0, base + 64.0),
+             Polygon.box(base + 80.0, base + 80.0, base + 120.0, base + 120.0)]
+        s = [Polygon.box(base + 16.0, base + 16.0, base + 48.0, base + 48.0),
+             Polygon.box(base + 100.0, base + 100.0, base + 160.0, base + 140.0)]
+        return r, s
+
+    def test_dataspace_strictly_contains_extent(self):
+        r, s = self._shifted_inputs()
+        join = TopologyJoin(r, s, grid_order=8)
+        extent = Box.union_all([p.bbox for p in r + s])
+        ds = join.grid.dataspace
+        assert ds.xmin < extent.xmin and ds.ymin < extent.ymin
+        assert ds.xmax > extent.xmax and ds.ymax > extent.ymax
+
+    def test_relations_correct_at_web_mercator_scale(self):
+        r, s = self._shifted_inputs()
+        join = TopologyJoin(r, s, grid_order=8)
+        results = {
+            (link.r_index, link.s_index): link.relation
+            for link in join.find_relations(include_disjoint=True)
+        }
+        for (i, j), relation in results.items():
+            assert relation is most_specific_relation(relate(r[i], s[j]))
+        assert results[(0, 0)] is T.CONTAINS
+
+
+class TestLazyApril:
+    def test_st2_builds_no_april(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9, method="ST2")
+        stats = join.stats()
+        assert stats.method == "ST2"
+        assert stats.pairs == len(join.candidate_pairs)
+        assert all(o.april is None for o in join.r_objects)
+        assert all(o.april is None for o in join.s_objects)
+
+    def test_op2_builds_no_april(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9, method="OP2")
+        list(join.find_relations())
+        assert all(o.april is None for o in join.r_objects + join.s_objects)
+
+    def test_april_backfilled_on_demand(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9, method="ST2")
+        st2 = join.stats()
+        assert all(o.april is None for o in join.r_objects)
+        pc = join.stats("P+C")  # needs APRIL: backfills lazily
+        assert all(o.april is not None for o in join.r_objects + join.s_objects)
+        assert pc.relation_counts == st2.relation_counts
+
+    def test_relate_p_backfills_april(self, inputs):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9, method="ST2")
+        baseline = set(
+            TopologyJoin(districts, blobs, grid_order=9).pairs_satisfying(T.CONTAINS)
+        )
+        assert set(join.pairs_satisfying(T.CONTAINS)) == baseline
+        assert all(o.april is not None for o in join.r_objects)
+
+    def test_save_preprocessing_backfills_april(self, inputs, tmp_path):
+        districts, blobs = inputs
+        join = TopologyJoin(districts, blobs, grid_order=9, method="ST2")
+        join.save_preprocessing(tmp_path / "r.npz", tmp_path / "s.npz")
+        back = load_approximations(tmp_path / "r.npz")
+        assert len(back) == len(districts)
+
+
 class TestStorage:
     def test_roundtrip_preserves_lists(self, tmp_path):
         grid = RasterGrid(Box(0, 0, 64, 64), order=8)
