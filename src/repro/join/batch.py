@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.filters.intermediate import intermediate_filter
+from repro.filters.intermediate import intermediate_filter_batch
 from repro.filters.mbr import MBRRelationship
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.stats import JoinRunStats
@@ -104,7 +104,8 @@ def run_find_relation_batch(
     start = time.perf_counter()
     codes = classify_mbr_pairs_bulk(r_objects, s_objects, pairs)
 
-    to_refine: list[tuple[int, int, tuple[T, ...]]] = []
+    items = []
+    stages = []
     for k, (i, j) in enumerate(pairs):
         case = _CODE_CASES[int(codes[k])]
         r = r_objects[i]
@@ -113,13 +114,15 @@ def run_find_relation_batch(
         if case is MBRRelationship.DISJOINT or (
             case is MBRRelationship.CROSS and connected
         ):
-            verdict = intermediate_filter(case, None, None)  # type: ignore[arg-type]
-            stage = "mbr"
+            items.append((case, None, None, connected))
+            stages.append("mbr")
         else:
-            verdict = intermediate_filter(
-                case, r.require_april(), s.require_april(), connected
-            )
-            stage = "if"
+            items.append((case, r.require_april(), s.require_april(), connected))
+            stages.append("if")
+
+    to_refine: list[tuple[int, int, tuple[T, ...]]] = []
+    verdicts = intermediate_filter_batch(items)
+    for (i, j), verdict, stage in zip(pairs, verdicts, stages):
         if verdict.definite is not None:
             stats.record(verdict.definite, stage)
         else:

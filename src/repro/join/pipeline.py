@@ -30,7 +30,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.filters.intermediate import IFResult, intermediate_filter
+from repro.filters.intermediate import (
+    IFResult,
+    batch_c_overlaps,
+    intermediate_filter,
+    intermediate_filter_batch,
+)
 from repro.filters.mbr import MBRRelationship, classify_mbr_pair, mbr_candidates_for
 from repro.filters.relate_filters import RelateVerdict, relate_filter
 from repro.join.objects import SpatialObject, reset_access_tracking
@@ -77,6 +82,20 @@ class Pipeline(ABC):
         Returns the filter verdict and the stage a *definite* verdict is
         attributed to (``Stage.MBR`` or ``Stage.INTERMEDIATE``).
         """
+
+    def filter_pairs(
+        self,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[tuple[IFResult, Stage]]:
+        """Run the filter stage over a whole candidate stream.
+
+        Semantically identical to mapping :meth:`filter_pair`; APRIL-based
+        pipelines override it to amortise the interval merge-joins with
+        the batched kernels (:mod:`repro.raster.kernels`).
+        """
+        return [self.filter_pair(r_objects[i], s_objects[j]) for i, j in pairs]
 
     def refine_pair(
         self, r: SpatialObject, s: SpatialObject, candidates: Sequence[T]
@@ -148,6 +167,48 @@ class AprilIntersectionPipeline(Pipeline):
             candidates = tuple(c for c in candidates if c not in (T.DISJOINT, T.MEETS))
         return IFResult(refine_candidates=candidates), Stage.INTERMEDIATE
 
+    def filter_pairs(
+        self,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[tuple[IFResult, Stage]]:
+        """Batched form: every surviving pair opens with the ``rC × sC``
+        overlap join, so the whole stream is screened in one grouped
+        kernel pass before the per-pair tail tests."""
+        out: list[tuple[IFResult, Stage] | None] = [None] * len(pairs)
+        screened: list[int] = []
+        approx: list[tuple] = []
+        for k, (i, j) in enumerate(pairs):
+            r = r_objects[i]
+            s = s_objects[j]
+            case = classify_mbr_pair(r.box, s.box)
+            connected = r.polygon.is_connected and s.polygon.is_connected
+            if case is MBRRelationship.DISJOINT:
+                out[k] = (IFResult(definite=T.DISJOINT), Stage.MBR)
+                continue
+            if case is MBRRelationship.CROSS and connected:
+                out[k] = (IFResult(definite=T.INTERSECTS), Stage.MBR)
+                continue
+            ra = r.require_april()
+            sa = s.require_april()
+            ra.check_compatible(sa)
+            screened.append(k)
+            approx.append((ra, sa, case, connected))
+        if screened:
+            hits = batch_c_overlaps([(ra, sa) for ra, sa, _, _ in approx])
+            for hit, k, (ra, sa, case, connected) in zip(hits, screened, approx):
+                if not hit:
+                    out[k] = (IFResult(definite=T.DISJOINT), Stage.INTERMEDIATE)
+                    continue
+                candidates = mbr_candidates_for(case, connected)
+                if ra.c.overlaps(sa.p) or ra.p.overlaps(sa.c):
+                    candidates = tuple(
+                        c for c in candidates if c not in (T.DISJOINT, T.MEETS)
+                    )
+                out[k] = (IFResult(refine_candidates=candidates), Stage.INTERMEDIATE)
+        return out  # type: ignore[return-value]
+
 
 class ProgressiveConservativePipeline(Pipeline):
     """P+C: the paper's Algorithm 1 with the Fig. 5 intermediate filters."""
@@ -168,6 +229,32 @@ class ProgressiveConservativePipeline(Pipeline):
             ),
             Stage.INTERMEDIATE,
         )
+
+    def filter_pairs(
+        self,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+    ) -> list[tuple[IFResult, Stage]]:
+        """Batched Algorithm 1: the Fig. 5 dispatch per pair with the
+        common ``rC × sC`` disjointness screen amortised over the stream
+        (:func:`~repro.filters.intermediate.intermediate_filter_batch`)."""
+        items = []
+        stages = []
+        for i, j in pairs:
+            r = r_objects[i]
+            s = s_objects[j]
+            case = classify_mbr_pair(r.box, s.box)
+            connected = r.polygon.is_connected and s.polygon.is_connected
+            if case is MBRRelationship.DISJOINT or (
+                case is MBRRelationship.CROSS and connected
+            ):
+                items.append((case, None, None, connected))
+                stages.append(Stage.MBR)
+            else:
+                items.append((case, r.require_april(), s.require_april(), connected))
+                stages.append(Stage.INTERMEDIATE)
+        return list(zip(intermediate_filter_batch(items), stages))
 
 
 #: The four evaluated methods, keyed by their paper names.
@@ -203,18 +290,19 @@ def run_find_relation(
     reset_access_tracking(s_objects)
 
     clock = time.perf_counter
-    for i, j in pairs:
-        r = r_objects[i]
-        s = s_objects[j]
-        t0 = clock()
-        verdict, stage = pipeline.filter_pair(r, s)
-        t1 = clock()
-        stats.filter_seconds += t1 - t0
+    pairs = list(pairs)
+    t0 = clock()
+    verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
+    stats.filter_seconds += clock() - t0
+    for (i, j), (verdict, stage) in zip(pairs, verdicts):
         if verdict.definite is not None:
             stats.record(verdict.definite, stage.value)
             continue
         assert verdict.refine_candidates is not None
-        relation = pipeline.refine_pair(r, s, verdict.refine_candidates)
+        t1 = clock()
+        relation = pipeline.refine_pair(
+            r_objects[i], s_objects[j], verdict.refine_candidates
+        )
         stats.refine_seconds += clock() - t1
         stats.record(relation, "refinement")
 

@@ -96,19 +96,22 @@ def _find_outcomes(
     stats = JoinRunStats(method=pipeline.name)
     outcomes: list[PairOutcome] = []
     clock = time.perf_counter
-    for i, j in pairs:
-        r = r_objects[i]
-        s = s_objects[j]
-        t0 = clock()
-        verdict, stage = pipeline.filter_pair(r, s)
-        t1 = clock()
-        stats.filter_seconds += t1 - t0
+    pairs = list(pairs)
+    t0 = clock()
+    # Batched filter stage: every worker runs the same vectorised
+    # kernels, so the per-pair screen is amortised inside each partition.
+    verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
+    stats.filter_seconds += clock() - t0
+    for (i, j), (verdict, stage) in zip(pairs, verdicts):
         if verdict.definite is not None:
             stats.record(verdict.definite, stage.value)
             outcomes.append((i, j, verdict.definite, True))
             continue
         assert verdict.refine_candidates is not None
-        relation = pipeline.refine_pair(r, s, verdict.refine_candidates)
+        t1 = clock()
+        relation = pipeline.refine_pair(
+            r_objects[i], s_objects[j], verdict.refine_candidates
+        )
         stats.refine_seconds += clock() - t1
         stats.record(relation, "refinement")
         outcomes.append((i, j, relation, False))

@@ -8,12 +8,23 @@ object) and the **Conservative** list ``C`` (all cells fully or
 partially covered). Merge-join relations between interval lists
 (*overlap*, *match*, *inside*, *contains*) run in linear time and are
 the primitive operations of the paper's intermediate filters (Sec. 3.2).
+
+Every hot-path primitive has two implementations: vectorised numpy
+kernels (:mod:`repro.raster.kernels`, the default) and the original
+scalar loops, selected globally with ``REPRO_REFERENCE_KERNELS=1`` (or
+:func:`set_reference_kernels` at runtime) and differentially tested
+against each other.
 """
 
 from repro.raster.april import AprilApproximation, build_april
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
 from repro.raster.intervals import IntervalList
+from repro.raster.kernels import (
+    reference_kernels,
+    reference_kernels_enabled,
+    set_reference_kernels,
+)
 from repro.raster.rasterize import RasterizationError, rasterize_polygon
 
 __all__ = [
@@ -27,4 +38,7 @@ __all__ = [
     "hilbert_xy2d_bulk",
     "pad_dataspace",
     "rasterize_polygon",
+    "reference_kernels",
+    "reference_kernels_enabled",
+    "set_reference_kernels",
 ]

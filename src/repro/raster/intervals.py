@@ -6,13 +6,28 @@ sorted, pairwise disjoint and maximally coalesced. The four relations of
 Sec. 3.2 — *overlap*, *match*, *inside*, *contains* — are single-pass
 merge joins, each ``O(|X| + |Y|)`` exactly because the intervals within
 a list are disjoint and sorted.
+
+Two implementations back every relation and set operation: vectorised
+``searchsorted``-based kernels (:mod:`repro.raster.kernels`, the
+default) and the original scalar merge loops, kept as ``_reference_*``
+methods and selected globally with ``REPRO_REFERENCE_KERNELS=1``. The
+differential suite (``tests/test_kernels_differential.py``) asserts the
+two agree on thousands of generated inputs.
+
+All boolean predicates return plain Python ``bool`` — numpy scalars
+never leak across this API boundary (``np.bool_`` is truthy-compatible
+but breaks ``is True`` checks and JSON serialisation downstream).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 import numpy as np
+
+from repro.raster import kernels
+
+_EMPTY_ARRAY = np.empty(0, dtype=np.int64)
 
 
 class IntervalList:
@@ -24,20 +39,20 @@ class IntervalList:
     __slots__ = ("starts", "ends")
 
     def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
-        pairs = [(int(s), int(e)) for s, e in intervals]
-        for s, e in pairs:
-            if s >= e:
-                raise ValueError(f"empty or inverted interval [{s}, {e})")
-        pairs.sort()
-        merged: list[list[int]] = []
-        for s, e in pairs:
-            if merged and s <= merged[-1][1]:
-                if e > merged[-1][1]:
-                    merged[-1][1] = e
-            else:
-                merged.append([s, e])
-        self.starts = np.array([m[0] for m in merged], dtype=np.int64)
-        self.ends = np.array([m[1] for m in merged], dtype=np.int64)
+        pairs = np.asarray(
+            intervals if isinstance(intervals, np.ndarray) else list(intervals),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        starts = pairs[:, 0]
+        ends = pairs[:, 1]
+        bad = starts >= ends
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise ValueError(f"empty or inverted interval [{starts[k]}, {ends[k]})")
+        if kernels.reference_kernels_enabled():
+            self.starts, self.ends = _reference_coalesce(starts, ends)
+        else:
+            self.starts, self.ends = kernels.coalesce(starts, ends)
 
     # ------------------------------------------------------------------
     # constructors
@@ -102,17 +117,66 @@ class IntervalList:
     def covers_cell(self, cell_id: int) -> bool:
         """True iff ``cell_id`` lies in some interval (binary search)."""
         idx = int(np.searchsorted(self.starts, cell_id, side="right")) - 1
-        return idx >= 0 and cell_id < self.ends[idx]
+        return bool(idx >= 0 and cell_id < self.ends[idx])
 
     def iter_cells(self) -> Iterator[int]:
         for s, e in self:
             yield from range(s, e)
 
     # ------------------------------------------------------------------
-    # Sec. 3.2 relations (linear merge joins)
+    # Sec. 3.2 relations
     # ------------------------------------------------------------------
     def overlaps(self, other: "IntervalList") -> bool:
         """'X,Y overlap': some pair of intervals shares a cell id."""
+        if kernels.reference_kernels_enabled():
+            return self._reference_overlaps(other)
+        return kernels.overlaps(self.starts, self.ends, other.starts, other.ends)
+
+    def matches(self, other: "IntervalList") -> bool:
+        """'X,Y match': the two lists are identical."""
+        return kernels.matches(self.starts, self.ends, other.starts, other.ends)
+
+    def inside(self, other: "IntervalList") -> bool:
+        """'X inside Y': every interval of X is contained in one of Y.
+
+        An empty X is vacuously inside anything.
+        """
+        if kernels.reference_kernels_enabled():
+            return self._reference_inside(other)
+        return kernels.inside(self.starts, self.ends, other.starts, other.ends)
+
+    def contains(self, other: "IntervalList") -> bool:
+        """'X contains Y': inverse of 'Y inside X'."""
+        return other.inside(self)
+
+    # ------------------------------------------------------------------
+    # set operations (used by tests and diagnostics)
+    # ------------------------------------------------------------------
+    def intersection(self, other: "IntervalList") -> "IntervalList":
+        if kernels.reference_kernels_enabled():
+            return self._reference_intersection(other)
+        return IntervalList._from_arrays(
+            *kernels.intersection(self.starts, self.ends, other.starts, other.ends)
+        )
+
+    def union(self, other: "IntervalList") -> "IntervalList":
+        if kernels.reference_kernels_enabled():
+            return self._reference_union(other)
+        return IntervalList._from_arrays(
+            *kernels.union(self.starts, self.ends, other.starts, other.ends)
+        )
+
+    def difference(self, other: "IntervalList") -> "IntervalList":
+        if kernels.reference_kernels_enabled():
+            return self._reference_difference(other)
+        return IntervalList._from_arrays(
+            *kernels.difference(self.starts, self.ends, other.starts, other.ends)
+        )
+
+    # ------------------------------------------------------------------
+    # reference implementations (the original scalar merge loops)
+    # ------------------------------------------------------------------
+    def _reference_overlaps(self, other: "IntervalList") -> bool:
         xs, xe = self.starts, self.ends
         ys, ye = other.starts, other.ends
         i = j = 0
@@ -126,19 +190,7 @@ class IntervalList:
                 j += 1
         return False
 
-    def matches(self, other: "IntervalList") -> bool:
-        """'X,Y match': the two lists are identical."""
-        return (
-            self.starts.size == other.starts.size
-            and bool(np.array_equal(self.starts, other.starts))
-            and bool(np.array_equal(self.ends, other.ends))
-        )
-
-    def inside(self, other: "IntervalList") -> bool:
-        """'X inside Y': every interval of X is contained in one of Y.
-
-        An empty X is vacuously inside anything.
-        """
+    def _reference_inside(self, other: "IntervalList") -> bool:
         xs, xe = self.starts, self.ends
         ys, ye = other.starts, other.ends
         ny = ys.size
@@ -152,14 +204,14 @@ class IntervalList:
                 return False
         return True
 
-    def contains(self, other: "IntervalList") -> bool:
-        """'X contains Y': inverse of 'Y inside X'."""
-        return other.inside(self)
+    def _reference_matches(self, other: "IntervalList") -> bool:
+        return (
+            self.starts.size == other.starts.size
+            and bool(np.array_equal(self.starts, other.starts))
+            and bool(np.array_equal(self.ends, other.ends))
+        )
 
-    # ------------------------------------------------------------------
-    # set operations (used by tests and diagnostics)
-    # ------------------------------------------------------------------
-    def intersection(self, other: "IntervalList") -> "IntervalList":
+    def _reference_intersection(self, other: "IntervalList") -> "IntervalList":
         xs, xe = self.starts, self.ends
         ys, ye = other.starts, other.ends
         i = j = 0
@@ -175,10 +227,10 @@ class IntervalList:
                 j += 1
         return IntervalList(out)
 
-    def union(self, other: "IntervalList") -> "IntervalList":
+    def _reference_union(self, other: "IntervalList") -> "IntervalList":
         return IntervalList(list(self) + list(other))
 
-    def difference(self, other: "IntervalList") -> "IntervalList":
+    def _reference_difference(self, other: "IntervalList") -> "IntervalList":
         out: list[tuple[int, int]] = []
         ys, ye = other.starts, other.ends
         j = 0
@@ -195,6 +247,26 @@ class IntervalList:
             if cur < e:
                 out.append((cur, e))
         return IntervalList(out)
+
+
+def _reference_coalesce(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The original sort-and-merge construction loop."""
+    pairs = sorted((int(s), int(e)) for s, e in zip(starts, ends))
+    merged: list[list[int]] = []
+    for s, e in pairs:
+        if merged and s <= merged[-1][1]:
+            if e > merged[-1][1]:
+                merged[-1][1] = e
+        else:
+            merged.append([s, e])
+    if not merged:
+        return _EMPTY_ARRAY, _EMPTY_ARRAY
+    return (
+        np.array([m[0] for m in merged], dtype=np.int64),
+        np.array([m[1] for m in merged], dtype=np.int64),
+    )
 
 
 #: Shared empty list (e.g. the P list of a thin polygon with no full cells).

@@ -1,0 +1,279 @@
+"""Vectorised APRIL kernels and the reference-implementation switch.
+
+The Sec. 3.2 interval relations are linear merge-joins; the original
+implementations walk them with Python ``while`` loops doing scalar
+indexing into numpy arrays — interpreter dispatch *plus* per-element
+``np.int64`` boxing on every step. This module rewrites them as
+branch-free array kernels built on ``np.searchsorted`` over the sorted
+interval bounds, plus batched one-probe-vs-many forms that amortise a
+whole group of candidate pairs into a single numpy call — the shape the
+join inner loop produces (one ``r`` object screened against the ``C``
+lists of many ``s`` objects).
+
+All kernels take raw ``starts``/``ends`` arrays satisfying the
+:class:`~repro.raster.intervals.IntervalList` invariant (sorted,
+pairwise disjoint, maximally coalesced, half-open) and return plain
+Python/numpy values; :class:`~repro.raster.intervals.IntervalList`
+wraps them behind its public methods.
+
+**The reference switch.** The original loops are kept as
+``_reference_*`` methods/functions next to each vectorised kernel and
+selected globally via the ``REPRO_REFERENCE_KERNELS=1`` environment
+variable (or :func:`set_reference_kernels` at runtime). The
+differential test suite runs both implementations against each other on
+thousands of generated inputs, so the soundness of the intermediate
+filter — which *proves* topological relations from these primitives —
+is continuously checked against the slow-but-obvious code.
+
+Why ``searchsorted`` is sound here: within one list the intervals are
+disjoint and coalesced, so ``starts`` *and* ``ends`` are each strictly
+increasing and interleave (``s0 < e0 < s1 < e1 < ...``). For a probe
+interval ``[s, e)``, the y intervals it overlaps are exactly those with
+``ys < e`` and ``ye > s`` — a contiguous index range
+``[searchsorted(ye, s, 'right'), searchsorted(ys, e, 'left'))``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+#: Environment variable selecting the reference (pure-loop) kernels.
+REFERENCE_ENV_VAR = "REPRO_REFERENCE_KERNELS"
+
+_use_reference = os.environ.get(REFERENCE_ENV_VAR, "").strip() not in ("", "0")
+
+#: Sentinel bound for interval complements; far above any Hilbert id
+#: (``4**16 = 2**32``) yet safely inside int64.
+_SENTINEL = np.int64(1) << 62
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def reference_kernels_enabled() -> bool:
+    """Whether the slow reference implementations are globally selected."""
+    return _use_reference
+
+
+def set_reference_kernels(enabled: bool) -> None:
+    """Select reference (True) or vectorised (False) kernels globally."""
+    global _use_reference
+    _use_reference = bool(enabled)
+
+
+@contextmanager
+def reference_kernels(enabled: bool = True) -> Iterator[None]:
+    """Context manager toggling the kernel selection (used by tests)."""
+    previous = _use_reference
+    set_reference_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_reference_kernels(previous)
+
+
+# ----------------------------------------------------------------------
+# pairwise relations
+# ----------------------------------------------------------------------
+def overlaps(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> bool:
+    """Some X interval shares a cell with some Y interval."""
+    if xs.size == 0 or ys.size == 0:
+        return False
+    if xs.size > ys.size:  # probe with the smaller list into the larger
+        xs, xe, ys, ye = ys, ye, xs, xe
+    # [s, e) overlaps a y interval iff count(ys < e) > count(ye <= s).
+    # ndarray methods, not np.* wrappers: the wrapper dispatch costs more
+    # than the searchsorted itself on short lists.
+    return bool(
+        (ys.searchsorted(xe, "left") > ye.searchsorted(xs, "right")).any()
+    )
+
+
+def inside(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> bool:
+    """Every X interval is contained in one Y interval (empty X: True)."""
+    if xs.size == 0:
+        return True
+    if ys.size == 0:
+        return False
+    # The only y interval that can contain [s, e) is the last one
+    # starting at or before s (index ``count(ys <= s) - 1``), and because
+    # the bounds interleave, containment holds iff that index equals
+    # ``count(ye < e)`` — two searchsorted calls and one comparison.
+    slot = ye.searchsorted(xe, "left")
+    slot += 1
+    return bool((ys.searchsorted(xs, "right") == slot).all())
+
+
+def matches(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> bool:
+    """The two lists are identical."""
+    return (
+        xs.size == ys.size
+        and bool(np.array_equal(xs, ys))
+        and bool(np.array_equal(xe, ye))
+    )
+
+
+# ----------------------------------------------------------------------
+# set operations
+# ----------------------------------------------------------------------
+def coalesce(
+    starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort and merge arbitrary nonempty intervals into canonical form.
+
+    Touching (``e == s``) and overlapping intervals merge; the result is
+    sorted, disjoint and non-adjacent. Pure array ops: argsort, a
+    running-max scan, and one boundary mask.
+    """
+    if starts.size == 0:
+        return _EMPTY, _EMPTY
+    order = np.argsort(starts, kind="stable")
+    s = starts[order]
+    e = ends[order]
+    reach = np.maximum.accumulate(e)
+    # A new run begins wherever a start lies beyond everything seen.
+    boundary = np.empty(s.size, dtype=bool)
+    boundary[0] = True
+    np.greater(s[1:], reach[:-1], out=boundary[1:])
+    first = np.nonzero(boundary)[0]
+    last = np.concatenate((first[1:], [s.size])) - 1
+    return s[first], reach[last]
+
+
+def intersection(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cellwise intersection of two canonical lists (canonical result)."""
+    if xs.size == 0 or ys.size == 0:
+        return _EMPTY, _EMPTY
+    lo = np.searchsorted(ye, xs, side="right")
+    hi = np.searchsorted(ys, xe, side="left")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY, _EMPTY
+    x_idx = np.repeat(np.arange(xs.size), counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    y_idx = np.arange(total) - np.repeat(offsets[:-1], counts) + np.repeat(lo, counts)
+    return (
+        np.maximum(xs[x_idx], ys[y_idx]),
+        np.minimum(xe[x_idx], ye[y_idx]),
+    )
+
+
+def union(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cellwise union of two canonical lists (canonical result)."""
+    return coalesce(np.concatenate((xs, ys)), np.concatenate((xe, ye)))
+
+
+def difference(
+    xs: np.ndarray, xe: np.ndarray, ys: np.ndarray, ye: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cells of X not in Y: X intersected with Y's complement."""
+    if xs.size == 0 or ys.size == 0:
+        return xs.copy(), xe.copy()
+    comp_starts = np.concatenate(([-_SENTINEL], ye))
+    comp_ends = np.concatenate((ys, [_SENTINEL]))
+    return intersection(xs, xe, comp_starts, comp_ends)
+
+
+# ----------------------------------------------------------------------
+# batched one-probe-vs-many forms (the join inner loop)
+# ----------------------------------------------------------------------
+def overlaps_batch(
+    xs: np.ndarray,
+    xe: np.ndarray,
+    cat_starts: np.ndarray,
+    cat_ends: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """``overlaps(X, Y_k)`` for many Y lists in one numpy pass.
+
+    ``cat_starts``/``cat_ends`` concatenate the Y lists back to back;
+    ``offsets`` (length ``k+1``, ``offsets[0] == 0``) delimits them.
+    Only X must be globally sorted — each concatenated Y interval is
+    probed *into* X, so the concatenation order never matters — and the
+    per-list verdict is an ``np.logical_or.reduceat`` over the slices.
+    """
+    out = np.zeros(offsets.size - 1, dtype=bool)
+    if xs.size == 0 or cat_starts.size == 0:
+        return out
+    hits = np.searchsorted(xs, cat_ends, side="left") > np.searchsorted(
+        xe, cat_starts, side="right"
+    )
+    nonempty = offsets[:-1] < offsets[1:]
+    if nonempty.any():
+        # Consecutive nonempty offsets delimit exactly the nonempty
+        # slices (empty slices contribute zero elements in between).
+        out[nonempty] = np.logical_or.reduceat(hits, offsets[:-1][nonempty])
+    return out
+
+
+def inside_batch(
+    cat_starts: np.ndarray,
+    cat_ends: np.ndarray,
+    offsets: np.ndarray,
+    ys: np.ndarray,
+    ye: np.ndarray,
+) -> np.ndarray:
+    """``inside(X_k, Y)`` for many X lists against one Y in one pass."""
+    out = np.ones(offsets.size - 1, dtype=bool)
+    if cat_starts.size == 0:
+        return out  # every empty X is vacuously inside
+    if ys.size == 0:
+        return offsets[:-1] == offsets[1:]
+    covered = np.searchsorted(ys, cat_starts, side="right") == (
+        np.searchsorted(ye, cat_ends, side="left") + 1
+    )
+    nonempty = offsets[:-1] < offsets[1:]
+    if nonempty.any():
+        out[nonempty] = np.logical_and.reduceat(covered, offsets[:-1][nonempty])
+    return out
+
+
+def pack_lists(lists) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate interval lists for the ``*_batch`` kernels.
+
+    Returns ``(cat_starts, cat_ends, offsets)`` over any iterable of
+    objects exposing ``starts``/``ends`` arrays.
+    """
+    lists = list(lists)
+    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+    for k, il in enumerate(lists):
+        offsets[k + 1] = offsets[k] + il.starts.size
+    if offsets[-1] == 0:
+        return _EMPTY, _EMPTY, offsets
+    return (
+        np.concatenate([il.starts for il in lists]),
+        np.concatenate([il.ends for il in lists]),
+        offsets,
+    )
+
+
+__all__ = [
+    "REFERENCE_ENV_VAR",
+    "coalesce",
+    "difference",
+    "inside",
+    "inside_batch",
+    "intersection",
+    "matches",
+    "overlaps",
+    "overlaps_batch",
+    "pack_lists",
+    "reference_kernels",
+    "reference_kernels_enabled",
+    "set_reference_kernels",
+    "union",
+]

@@ -7,12 +7,17 @@ result drives the DE-9IM engine's boundary subdivision.
 The sweep is the classic sort-by-xmin forward scan used for MBR joins:
 edges of both polygons are processed in x order; each incoming edge is
 tested only against still-active edges of the *other* polygon whose
-x-interval reaches it and whose y-intervals overlap. Typical cost is
+x-interval reaches it and whose y-intervals overlap. Each active list
+is a min-heap keyed on ``xmax``: expired edges are popped lazily as the
+sweep line advances, so retiring an edge costs ``O(log n)`` amortised
+instead of the rebuild-per-incoming-edge that degenerated to ``O(n²)``
+on streams of long-lived edges. Typical cost is
 ``O((n + m) log(n + m) + k)`` for mostly-local boundaries.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -76,13 +81,15 @@ def boundary_intersections(r: "Polygon", s: "Polygon") -> BoundaryIntersections:
             items.append((xmin, xmax, ymin, ymax, side, index, a, b))
     items.sort(key=lambda t: t[0])
 
+    # Min-heaps on xmax; iteration below visits every live entry (heap
+    # order is irrelevant — all surviving edges must be tested anyway).
     active_r: list[tuple[float, float, float, int, Coord, Coord]] = []
     active_s: list[tuple[float, float, float, int, Coord, Coord]] = []
     for xmin, xmax, ymin, ymax, side, index, a, b in items:
         mine, theirs = (active_r, active_s) if side == "r" else (active_s, active_r)
-        # Drop opposite-side edges the sweep line has passed.
-        if theirs:
-            theirs[:] = [e for e in theirs if e[0] >= xmin]
+        # Lazily pop opposite-side edges the sweep line has passed.
+        while theirs and theirs[0][0] < xmin:
+            heapq.heappop(theirs)
         for _, oymin, oymax, oindex, oa, ob in theirs:
             if oymax < ymin or oymin > ymax:
                 continue
@@ -90,7 +97,7 @@ def boundary_intersections(r: "Polygon", s: "Polygon") -> BoundaryIntersections:
                 _process_pair(result, index, a, b, oindex, oa, ob)
             else:
                 _process_pair(result, oindex, oa, ob, index, a, b)
-        mine.append((xmax, ymin, ymax, index, a, b))
+        heapq.heappush(mine, (xmax, ymin, ymax, index, a, b))
     return result
 
 

@@ -1,0 +1,303 @@
+"""Differential suite: vectorised kernels vs the reference loops.
+
+The intermediate filter *proves* topological relations from the interval
+primitives, so a wrong kernel silently corrupts join answers. This suite
+pits every vectorised kernel against its ``_reference_*`` loop on ~10k
+generated interval-list pairs biased toward the nasty cases — adjacent
+intervals, single-cell intervals, empty lists, identical lists,
+containment chains — plus exact-equality checks for the bulk rasteriser
+and the Hilbert lookup-table fast path, and end-to-end equivalence of
+the batched filter entry points.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.filters.intermediate import (
+    batch_c_overlaps,
+    intermediate_filter,
+    intermediate_filter_batch,
+)
+from repro.filters.mbr import classify_mbr_pair
+from repro.geometry import Box, Polygon
+from repro.raster import RasterGrid, build_april, kernels, rasterize_polygon
+from repro.raster.hilbert import (
+    _reference_hilbert_xy2d_bulk,
+    hilbert_xy2d,
+    hilbert_xy2d_bulk,
+)
+from repro.raster.intervals import EMPTY_INTERVALS, IntervalList
+
+N_PAIRS = 10_000
+#: Set operations build whole lists per op; a subset keeps the suite fast.
+N_SET_OP_PAIRS = 2_500
+
+
+# ----------------------------------------------------------------------
+# generators (biased toward the nasty cases)
+# ----------------------------------------------------------------------
+def random_list(rng: np.random.Generator) -> IntervalList:
+    kind = int(rng.integers(0, 6))
+    if kind == 0:
+        return EMPTY_INTERVALS
+    if kind == 1:  # one single-cell interval
+        c = int(rng.integers(0, 100))
+        return IntervalList([(c, c + 1)])
+    if kind == 2:  # adjacency-heavy: dense cells with pinhole gaps
+        cells = np.arange(0, 64)
+        holes = rng.integers(0, 64, size=rng.integers(1, 6))
+        return IntervalList.from_cells(np.setdiff1d(cells, holes))
+    if kind == 3:  # sparse singletons
+        return IntervalList.from_cells(rng.integers(0, 400, size=rng.integers(0, 20)))
+    if kind == 4:  # medium density
+        return IntervalList.from_cells(rng.integers(0, 120, size=rng.integers(0, 60)))
+    # long intervals with varied gaps
+    starts = np.cumsum(rng.integers(1, 12, size=rng.integers(1, 16)))
+    lengths = rng.integers(1, 8, size=starts.size)
+    return IntervalList([(int(s), int(s + l)) for s, l in zip(starts, lengths)])
+
+
+def random_pair(rng: np.random.Generator) -> tuple[IntervalList, IntervalList]:
+    x = random_list(rng)
+    kind = int(rng.integers(0, 6))
+    if kind == 0:  # identical lists
+        return x, IntervalList(list(x))
+    if kind == 1:  # containment chain: y ⊇ x
+        return x, x.union(random_list(rng))
+    if kind == 2:  # x shifted by one cell: adjacency everywhere
+        return x, IntervalList([(s + 1, e + 1) for s, e in x] or [(0, 1)])
+    if kind == 3:  # x against its own complement-ish difference
+        y = random_list(rng)
+        return x.difference(y), y
+    return x, random_list(rng)
+
+
+@pytest.fixture(scope="module")
+def pair_stream():
+    rng = np.random.default_rng(20260806)
+    return [random_pair(rng) for _ in range(N_PAIRS)]
+
+
+# ----------------------------------------------------------------------
+# interval relations and set operations
+# ----------------------------------------------------------------------
+class TestIntervalKernelsDifferential:
+    def test_relations_match_reference(self, pair_stream):
+        for x, y in pair_stream:
+            assert x.overlaps(y) == x._reference_overlaps(y)
+            assert y.overlaps(x) == y._reference_overlaps(x)
+            assert x.inside(y) == x._reference_inside(y)
+            assert y.inside(x) == y._reference_inside(x)
+            assert x.matches(y) == x._reference_matches(y)
+
+    def test_set_ops_match_reference(self, pair_stream):
+        for x, y in pair_stream[:N_SET_OP_PAIRS]:
+            assert x.intersection(y) == x._reference_intersection(y)
+            assert x.union(y) == x._reference_union(y)
+            assert x.difference(y) == x._reference_difference(y)
+
+    def test_set_ops_canonical_form(self, pair_stream):
+        # Results must satisfy the IntervalList invariant exactly:
+        # sorted, disjoint, non-adjacent, no empty intervals.
+        for x, y in pair_stream[:N_SET_OP_PAIRS]:
+            for il in (x.intersection(y), x.union(y), x.difference(y)):
+                items = list(il)
+                assert all(s < e for s, e in items)
+                assert all(e1 < s2 for (_, e1), (s2, _) in zip(items, items[1:]))
+
+    def test_construction_matches_reference_coalesce(self):
+        rng = np.random.default_rng(7)
+        for _ in range(2000):
+            n = int(rng.integers(0, 25))
+            starts = rng.integers(0, 200, size=n)
+            lengths = rng.integers(1, 15, size=n)
+            pairs = [(int(s), int(s + l)) for s, l in zip(starts, lengths)]
+            fast = IntervalList(pairs)
+            with kernels.reference_kernels():
+                ref = IntervalList(pairs)
+            assert np.array_equal(fast.starts, ref.starts)
+            assert np.array_equal(fast.ends, ref.ends)
+
+    def test_batch_kernels_match_pairwise(self, pair_stream):
+        rng = np.random.default_rng(3)
+        lists = [x for x, _ in pair_stream[:400]]
+        for _ in range(200):
+            probe = lists[int(rng.integers(0, len(lists)))]
+            group = [lists[int(k)] for k in rng.integers(0, len(lists), size=9)]
+            cat_s, cat_e, offsets = kernels.pack_lists(group)
+            got = kernels.overlaps_batch(
+                probe.starts, probe.ends, cat_s, cat_e, offsets
+            )
+            assert got.tolist() == [probe.overlaps(y) for y in group]
+            got = kernels.inside_batch(cat_s, cat_e, offsets, probe.starts, probe.ends)
+            assert got.tolist() == [y.inside(probe) for y in group]
+
+
+# ----------------------------------------------------------------------
+# rasterisation (bit-identical grids)
+# ----------------------------------------------------------------------
+def _blob(n, radius=80.0, cx=500.0, cy=500.0):
+    pts = []
+    for k in range(n):
+        a = 2 * math.pi * k / n
+        r = radius * (1 + 0.25 * math.sin(5 * a))
+        pts.append((cx + r * math.cos(a), cy + r * math.sin(a)))
+    return Polygon(pts)
+
+
+class TestRasterizeDifferential:
+    GRID = RasterGrid(Box(0, 0, 1000, 1000), order=8)
+
+    POLYGONS = [
+        _blob(7),
+        _blob(64),
+        Polygon.box(100, 100, 300, 300),
+        Polygon.box(0, 0, 1000, 1000),  # hugs the dataspace border
+        Polygon([(0, 0), (1000, 0), (500, 1000)]),
+        Polygon([(10.5, 10.5), (400.25, 11.0), (11.0, 400.75)]),  # thin sliver
+        # Edges running exactly along grid lines and corner touches.
+        Polygon([(101.5625, 200.0), (300.0, 200.0), (300.0, 203.125)]),
+    ]
+
+    @pytest.mark.parametrize("k", range(len(POLYGONS)))
+    def test_bulk_marking_bit_identical(self, k):
+        polygon = self.POLYGONS[k]
+        fast = rasterize_polygon(polygon, self.GRID)
+        with kernels.reference_kernels():
+            ref = rasterize_polygon(polygon, self.GRID)
+        assert np.array_equal(fast.partial, ref.partial)
+        assert np.array_equal(fast.full, ref.full)
+
+    def test_random_blobs_bit_identical(self):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            polygon = _blob(
+                int(rng.integers(3, 40)),
+                radius=float(rng.uniform(5, 200)),
+                cx=float(rng.uniform(150, 850)),
+                cy=float(rng.uniform(150, 850)),
+            )
+            fast = rasterize_polygon(polygon, self.GRID)
+            with kernels.reference_kernels():
+                ref = rasterize_polygon(polygon, self.GRID)
+            assert np.array_equal(fast.partial, ref.partial)
+            assert np.array_equal(fast.full, ref.full)
+
+
+# ----------------------------------------------------------------------
+# Hilbert lookup-table fast path
+# ----------------------------------------------------------------------
+class TestHilbertDifferential:
+    @pytest.mark.parametrize("order", range(1, 7))
+    def test_exhaustive_small_orders(self, order):
+        side = 1 << order
+        ys, xs = np.meshgrid(np.arange(side), np.arange(side))
+        xs, ys = xs.ravel(), ys.ravel()
+        fast = hilbert_xy2d_bulk(order, xs, ys)
+        ref = _reference_hilbert_xy2d_bulk(order, xs.copy(), ys.copy())
+        scalar = [hilbert_xy2d(order, int(a), int(b)) for a, b in zip(xs, ys)]
+        assert np.array_equal(fast, ref)
+        assert fast.tolist() == scalar
+
+    @pytest.mark.parametrize("order", (8, 10, 13, 16))
+    def test_random_large_orders(self, order):
+        rng = np.random.default_rng(order)
+        xs = rng.integers(0, 1 << order, size=4000)
+        ys = rng.integers(0, 1 << order, size=4000)
+        fast = hilbert_xy2d_bulk(order, xs, ys)
+        assert np.array_equal(fast, _reference_hilbert_xy2d_bulk(order, xs.copy(), ys.copy()))
+
+    def test_empty_and_validation(self):
+        assert hilbert_xy2d_bulk(4, np.empty(0, int), np.empty(0, int)).size == 0
+        with pytest.raises(ValueError):
+            hilbert_xy2d_bulk(4, np.array([16]), np.array([0]))
+
+
+# ----------------------------------------------------------------------
+# batched intermediate filter == scalar intermediate filter
+# ----------------------------------------------------------------------
+class TestBatchedFilterDifferential:
+    def test_batch_matches_scalar_on_random_objects(self):
+        rng = np.random.default_rng(11)
+        grid = RasterGrid(Box(0, 0, 1000, 1000), order=7)
+        polygons = []
+        for _ in range(40):
+            x0, y0 = rng.uniform(0, 900, size=2)
+            w, h = rng.uniform(5, 300, size=2)
+            polygons.append(Polygon.box(x0, y0, min(x0 + w, 1000), min(y0 + h, 1000)))
+        for _ in range(10):
+            polygons.append(
+                _blob(
+                    int(rng.integers(5, 24)),
+                    radius=float(rng.uniform(20, 120)),
+                    cx=float(rng.uniform(200, 800)),
+                    cy=float(rng.uniform(200, 800)),
+                )
+            )
+        approxes = [build_april(p, grid) for p in polygons]
+
+        items = []
+        for _ in range(600):
+            i, j = rng.integers(0, len(polygons), size=2)
+            case = classify_mbr_pair(polygons[i].bbox, polygons[j].bbox)
+            connected = bool(rng.integers(0, 2))
+            items.append((case, approxes[i], approxes[j], connected))
+
+        batched = intermediate_filter_batch(items)
+        for item, got in zip(items, batched):
+            assert got == intermediate_filter(*item)
+
+        hits = batch_c_overlaps([(r, s) for _, r, s, _ in items])
+        assert hits.tolist() == [r.c.overlaps(s.c) for _, r, s, _ in items]
+
+
+# ----------------------------------------------------------------------
+# the switch itself, and the API type boundary
+# ----------------------------------------------------------------------
+class TestKernelSwitch:
+    def test_runtime_toggle(self):
+        initial = kernels.reference_kernels_enabled()
+        try:
+            kernels.set_reference_kernels(False)
+            with kernels.reference_kernels():
+                assert kernels.reference_kernels_enabled()
+                with kernels.reference_kernels(False):
+                    assert not kernels.reference_kernels_enabled()
+                assert kernels.reference_kernels_enabled()
+            assert not kernels.reference_kernels_enabled()
+        finally:
+            kernels.set_reference_kernels(initial)
+
+    def test_env_variable_honoured_at_import(self):
+        code = (
+            "from repro.raster import kernels; "
+            "print(kernels.reference_kernels_enabled())"
+        )
+        env = dict(os.environ, REPRO_REFERENCE_KERNELS="1")
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert out.stdout.strip() == "True", out.stderr
+
+    @pytest.mark.parametrize("reference", (False, True))
+    def test_predicates_return_python_bool(self, reference):
+        # numpy scalars must not leak through the IntervalList API.
+        with kernels.reference_kernels(reference):
+            x = IntervalList([(2, 5), (9, 10)])
+            y = IntervalList([(0, 20)])
+            assert isinstance(x.covers_cell(3), bool)
+            assert isinstance(x.covers_cell(8), bool)
+            assert isinstance(x.overlaps(y), bool)
+            assert isinstance(x.inside(y), bool)
+            assert isinstance(x.contains(y), bool)
+            assert isinstance(x.matches(y), bool)
+            assert isinstance(x.overlaps(EMPTY_INTERVALS), bool)
+            assert isinstance(EMPTY_INTERVALS.inside(x), bool)
