@@ -5,9 +5,15 @@ Operates on WKT (one geometry per line) or GeoJSON files::
     python -m repro relate a.wkt b.wkt                # one pair per line pair
     python -m repro join r.wkt s.wkt --method P+C     # full topology join
     python -m repro join r.wkt s.wkt --predicate inside
+    python -m repro explain r.wkt s.wkt --index 3 7   # why did P+C decide that?
     python -m repro select data.geojson --query "POLYGON((...))" --predicate intersects
     python -m repro approximate data.wkt --grid-order 12 --out approx.npz
     python -m repro stats data.wkt
+
+Observability (``join`` subcommand)::
+
+    python -m repro join r.wkt s.wkt --trace trace.json --metrics-out m.json \
+        --explain-sample 3 --run-log runs.jsonl --progress
 
 The experiment harness has its own entry point
 (``python -m repro.experiments``), as does the dataset catalog
@@ -72,30 +78,134 @@ def cmd_relate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_obs(args: argparse.Namespace) -> None:
+    """Enable the observability features the join flags ask for."""
+    from repro import obs
+
+    if args.trace:
+        obs.set_tracing(True)
+        obs.reset_tracing()
+    if args.metrics_out:
+        obs.set_metrics(True)
+        obs.reset_metrics()
+    if args.progress:
+        obs.set_progress(True)
+
+
+def _emit_obs(args: argparse.Namespace, join: TopologyJoin, stats, extra_meta: dict) -> None:
+    """Write trace/metrics/run-log artifacts after a join run."""
+    from repro import obs
+
+    explain_samples = []
+    if args.explain_sample:
+        refined = [
+            (i, j)
+            for i, j, _, filtered in getattr(join.last_run, "results", [])
+            if not filtered
+        ]
+        join._ensure_april()  # explain narrates the APRIL-based filters
+        explain_samples = obs.sample_explanations(
+            join.r_objects, join.s_objects, refined, args.explain_sample
+        )
+        for sample in explain_samples:
+            print(
+                f"# explain pair ({sample['r_index']}, {sample['s_index']}):",
+                file=sys.stderr,
+            )
+            for line in sample["rendered"].splitlines():
+                print(f"#   {line}", file=sys.stderr)
+
+    if args.trace:
+        spans = obs.export_spans()
+        if args.trace == "-":
+            for span in obs.get_spans():
+                print(span.render(), file=sys.stderr)
+        else:
+            import json as _json
+
+            Path(args.trace).write_text(
+                _json.dumps(spans, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"# wrote span trace to {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        json_path, prom_path = obs.write_metrics_files(
+            args.metrics_out, obs.get_registry()
+        )
+        print(f"# wrote metrics to {json_path} and {prom_path}", file=sys.stderr)
+    if args.run_log:
+        report = obs.RunReport(
+            kind="join_run",
+            method=args.method,
+            stats=stats.to_dict(),
+            spans=obs.export_spans() if args.trace else [],
+            metrics=obs.get_registry().to_dict() if args.metrics_out else None,
+            explain_samples=explain_samples,
+            meta={
+                "r_file": args.r,
+                "s_file": args.s,
+                "grid_order": args.grid_order,
+                "workers": args.workers,
+                "wall_seconds": getattr(join.last_run, "wall_seconds", None),
+                "partitions": getattr(join.last_run, "partitions", None),
+                **extra_meta,
+            },
+        )
+        obs.append_jsonl(args.run_log, report.to_dict())
+        print(f"# appended run report to {args.run_log}", file=sys.stderr)
+
+
 def cmd_join(args: argparse.Namespace) -> int:
     r = _load_geometries(args.r)
     s = _load_geometries(args.s)
+    _setup_obs(args)
     join = TopologyJoin(
         r, s, grid_order=args.grid_order, method=args.method, workers=args.workers
     )
     if args.predicate:
         predicate = _predicate(args.predicate)
-        count = 0
-        for i, j in join.pairs_satisfying(predicate):
+        matches, stats = join.run_predicate(predicate)
+        for i, j in matches:
             print(f"{i}\t{predicate.value}\t{j}")
-            count += 1
-        print(f"# {count} pairs satisfy {predicate.value}", file=sys.stderr)
+        print(f"# {len(matches)} pairs satisfy {predicate.value}", file=sys.stderr)
+        args.explain_sample = 0  # explain narrates find-relation runs only
+        _emit_obs(args, join, stats, {"predicate": predicate.value, "matches": len(matches)})
     else:
-        count = 0
-        for link in join.find_relations(include_disjoint=args.include_disjoint):
+        links, stats = join.run(include_disjoint=args.include_disjoint)
+        for link in links:
             print(f"{link.r_index}\t{link.relation.value}\t{link.s_index}")
-            count += 1
-        stats = join.stats()
         print(
-            f"# {count} links from {stats.pairs} candidates; "
+            f"# {len(links)} links from {stats.pairs} candidates; "
             f"{stats.undetermined_pct:.1f}% refined, {stats.throughput:,.0f} pairs/s",
             file=sys.stderr,
         )
+        _emit_obs(args, join, stats, {"links": len(links)})
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.geometry.box import Box
+    from repro.join.explain import explain_pair
+    from repro.join.objects import SpatialObject
+    from repro.raster.grid import RasterGrid, pad_dataspace
+
+    r_list = _load_geometries(args.r)
+    s_list = _load_geometries(args.s)
+    i, j = args.index
+    if not (0 <= i < len(r_list)):
+        raise SystemExit(f"--index r out of range: {i} (file has {len(r_list)} geometries)")
+    if not (0 <= j < len(s_list)):
+        raise SystemExit(f"--index s out of range: {j} (file has {len(s_list)} geometries)")
+
+    # Same grid a join over these two files would use, so the narrated
+    # interval checks match what the P+C pipeline would actually see.
+    extent = pad_dataspace(
+        Box.union_all([g.bbox for g in r_list] + [g.bbox for g in s_list])
+    )
+    grid = RasterGrid(extent, order=args.grid_order)
+    r_obj = SpatialObject.from_polygon(i, r_list[i], grid)
+    s_obj = SpatialObject.from_polygon(j, s_list[j], grid)
+    print(f"pair (r={i}, s={j})")
+    print(explain_pair(r_obj, s_obj).render())
     return 0
 
 
@@ -171,7 +281,43 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=_worker_count, default=1,
         help="worker processes for preprocessing + verification (default 1)",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable span tracing; write the span tree as JSON to PATH "
+             "('-' renders an ASCII tree to stderr instead)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable metrics; write the registry as JSON to PATH and "
+             "Prometheus text exposition to PATH.prom",
+    )
+    p.add_argument(
+        "--explain-sample", type=int, default=0, metavar="N",
+        help="deep-trace the first N undetermined pairs to stderr and "
+             "into the run log (find-relation runs only)",
+    )
+    p.add_argument(
+        "--run-log", default=None, metavar="PATH",
+        help="append a structured JSONL run report to PATH",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="per-worker heartbeat lines on stderr during the run",
+    )
     p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser(
+        "explain", help="trace one pair's journey through the P+C filters"
+    )
+    p.add_argument("r")
+    p.add_argument("s")
+    p.add_argument(
+        "--index", nargs=2, type=int, default=(0, 0), metavar=("I", "J"),
+        help="pair selector: geometry I of the first file vs J of the second "
+             "(default: 0 0)",
+    )
+    p.add_argument("--grid-order", type=int, default=11)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("select", help="topological selection over one file")
     p.add_argument("data")

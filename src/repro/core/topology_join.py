@@ -37,6 +37,7 @@ from repro.join.pipeline import (
     run_find_relation,
 )
 from repro.join.stats import JoinRunStats
+from repro.obs.trace import trace
 from repro.parallel import (
     build_april_parallel,
     run_find_relation_parallel,
@@ -100,6 +101,9 @@ class TopologyJoin:
         self._r_polygons = list(r_polygons)
         self._s_polygons = list(s_polygons)
         self._preprocessed = preprocessed
+        #: The most recent :meth:`run`'s ParallelFindRun (wall time,
+        #: worker/partition counts), or None before the first run.
+        self.last_run = None
 
     # ------------------------------------------------------------------
     # lazy preprocessing
@@ -123,9 +127,10 @@ class TopologyJoin:
         return self._make_objects(self._s_polygons, side=1)
 
     def _build_aprils(self, polygons: Sequence[Polygon]) -> list[AprilApproximation]:
-        if self.workers is None or self.workers > 1:
-            return build_april_parallel(polygons, self.grid, workers=self.workers)
-        return [build_april(p, self.grid) for p in polygons]
+        with trace("preprocess", count=len(polygons), workers=self.workers or 0):
+            if self.workers is None or self.workers > 1:
+                return build_april_parallel(polygons, self.grid, workers=self.workers)
+            return [build_april(p, self.grid) for p in polygons]
 
     def _make_objects(self, polygons: list[Polygon], side: int) -> list[SpatialObject]:
         approximations: list[AprilApproximation] | None = None
@@ -165,10 +170,13 @@ class TopologyJoin:
     @cached_property
     def candidate_pairs(self) -> list[tuple[int, int]]:
         """The filter step: pairs whose MBRs intersect."""
-        pairs = plane_sweep_mbr_join(
-            [o.box for o in self.r_objects], [o.box for o in self.s_objects]
-        )
-        pairs.sort()
+        with trace("mbr_filter_step") as span:
+            pairs = plane_sweep_mbr_join(
+                [o.box for o in self.r_objects], [o.box for o in self.s_objects]
+            )
+            pairs.sort()
+            if span is not None:
+                span.attrs["pairs"] = len(pairs)
         return pairs
 
     def save_preprocessing(self, r_path: str | Path, s_path: str | Path) -> None:
@@ -183,6 +191,51 @@ class TopologyJoin:
     @property
     def _parallel(self) -> bool:
         return self.workers is None or self.workers > 1
+
+    def run(self, include_disjoint: bool = False) -> tuple[list[JoinResult], JoinRunStats]:
+        """One verification pass returning both links and statistics.
+
+        Unlike calling :meth:`find_relations` then :meth:`stats` (two
+        passes over the pair stream), ``run`` verifies each pair once —
+        the shape the CLI and run reports want. The underlying
+        :class:`~repro.parallel.executor.ParallelFindRun` (wall time,
+        worker/partition counts) is kept on ``self.last_run``.
+        """
+        with trace("topology_join", method=self.method):
+            parallel_run = run_find_relation_parallel(
+                self.method,
+                self.r_objects,
+                self.s_objects,
+                self.candidate_pairs,
+                workers=self.workers,
+            )
+        self.last_run = parallel_run
+        links = [
+            JoinResult(r_index=i, s_index=j, relation=relation, filtered=filtered)
+            for i, j, relation, filtered in parallel_run.results
+            if include_disjoint or relation is not TopologicalRelation.DISJOINT
+        ]
+        return links, parallel_run.stats
+
+    def run_predicate(
+        self, predicate: TopologicalRelation
+    ) -> tuple[list[tuple[int, int]], JoinRunStats]:
+        """One relate_p pass returning both matches and statistics.
+
+        The relate analogue of :meth:`run`; the underlying
+        ParallelRelateRun lands on ``self.last_run``.
+        """
+        self._ensure_april()  # the relate_p filters always read APRIL
+        with trace("topology_join", predicate=predicate.value):
+            relate_run = run_relate_parallel(
+                predicate,
+                self.r_objects,
+                self.s_objects,
+                self.candidate_pairs,
+                workers=self.workers,
+            )
+        self.last_run = relate_run
+        return list(relate_run.matches), relate_run.stats
 
     def find_relations(self, include_disjoint: bool = False) -> Iterator[JoinResult]:
         """Stream the most specific relation of every candidate pair,

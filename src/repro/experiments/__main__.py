@@ -69,6 +69,11 @@ def main(argv: list[str] | None = None) -> int:
         help="Hilbert grid order k (2^k cells per dimension)",
     )
     parser.add_argument("--json", type=str, default=None, help="also dump results to a JSON file")
+    parser.add_argument(
+        "--run-log", type=str, default=None, metavar="PATH",
+        help="append one structured JSONL run report per experiment "
+             "(same envelope the join CLI's --run-log writes)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
@@ -77,6 +82,19 @@ def main(argv: list[str] | None = None) -> int:
         runner = EXPERIMENTS[name]
         result = runner(scale=args.scale, grid_order=args.grid_order)
         results.append(result)
+        if args.run_log:
+            from repro.obs.report import RunReport, append_jsonl
+
+            report = RunReport(
+                kind="experiment",
+                method=name,
+                meta={
+                    "scale": args.scale,
+                    "grid_order": args.grid_order,
+                    "result": result.as_dict(),
+                },
+            )
+            append_jsonl(args.run_log, report.to_dict())
         print(result.render())
         bar_column = BAR_COLUMNS.get(name)
         if bar_column and result.rows:

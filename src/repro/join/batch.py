@@ -23,6 +23,8 @@ from repro.filters.intermediate import intermediate_filter_batch
 from repro.filters.mbr import MBRRelationship
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.stats import JoinRunStats
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import add_span, trace
 from repro.topology.de9im import TopologicalRelation as T, most_specific_relation
 from repro.topology.relate import relate
 
@@ -101,42 +103,67 @@ def run_find_relation_batch(
     reset_access_tracking(r_objects)
     reset_access_tracking(s_objects)
 
-    start = time.perf_counter()
-    codes = classify_mbr_pairs_bulk(r_objects, s_objects, pairs)
+    registry = get_registry() if metrics_enabled() else None
+    with trace("run_find_relation_batch", method="P+C", pairs=len(pairs)):
+        start = time.perf_counter()
+        with trace("filter", pairs=len(pairs)):
+            codes = classify_mbr_pairs_bulk(r_objects, s_objects, pairs)
 
-    items = []
-    stages = []
-    for k, (i, j) in enumerate(pairs):
-        case = _CODE_CASES[int(codes[k])]
-        r = r_objects[i]
-        s = s_objects[j]
-        connected = r.polygon.is_connected and s.polygon.is_connected
-        if case is MBRRelationship.DISJOINT or (
-            case is MBRRelationship.CROSS and connected
-        ):
-            items.append((case, None, None, connected))
-            stages.append("mbr")
-        else:
-            items.append((case, r.require_april(), s.require_april(), connected))
-            stages.append("if")
+            items = []
+            stages = []
+            for k, (i, j) in enumerate(pairs):
+                case = _CODE_CASES[int(codes[k])]
+                r = r_objects[i]
+                s = s_objects[j]
+                connected = r.polygon.is_connected and s.polygon.is_connected
+                if case is MBRRelationship.DISJOINT or (
+                    case is MBRRelationship.CROSS and connected
+                ):
+                    items.append((case, None, None, connected))
+                    stages.append("mbr")
+                else:
+                    items.append((case, r.require_april(), s.require_april(), connected))
+                    stages.append("if")
 
-    to_refine: list[tuple[int, int, tuple[T, ...]]] = []
-    verdicts = intermediate_filter_batch(items)
-    for (i, j), verdict, stage in zip(pairs, verdicts, stages):
-        if verdict.definite is not None:
-            stats.record(verdict.definite, stage)
-        else:
-            assert verdict.refine_candidates is not None
-            to_refine.append((i, j, verdict.refine_candidates))
-    stats.filter_seconds = time.perf_counter() - start
+            to_refine: list[tuple[int, int, tuple[T, ...]]] = []
+            refine_cases: list[MBRRelationship] = []
+            verdicts = intermediate_filter_batch(items)
+            for (i, j), (case, _, _, _), verdict, stage in zip(
+                pairs, items, verdicts, stages
+            ):
+                if verdict.definite is not None:
+                    stats.record(verdict.definite, stage)
+                    if registry is not None:
+                        registry.inc(
+                            "repro_verdicts_total",
+                            method="P+C",
+                            case=case.value,
+                            stage=stage,
+                            relation=verdict.definite.value,
+                        )
+                else:
+                    assert verdict.refine_candidates is not None
+                    to_refine.append((i, j, verdict.refine_candidates))
+                    refine_cases.append(case)
+        stats.filter_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    for i, j, candidates in to_refine:
-        matrix = relate(
-            r_objects[i].access_geometry(), s_objects[j].access_geometry()
-        )
-        stats.record(most_specific_relation(matrix, candidates), "refinement")
-    stats.refine_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for (i, j, candidates), case in zip(to_refine, refine_cases):
+            matrix = relate(
+                r_objects[i].access_geometry(), s_objects[j].access_geometry()
+            )
+            relation = most_specific_relation(matrix, candidates)
+            stats.record(relation, "refinement")
+            if registry is not None:
+                registry.inc(
+                    "repro_verdicts_total",
+                    method="P+C",
+                    case=case.value,
+                    stage="refinement",
+                    relation=relation.value,
+                )
+        stats.refine_seconds = time.perf_counter() - start
+        add_span("refine", stats.refine_seconds, pairs=len(to_refine))
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)

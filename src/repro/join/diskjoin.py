@@ -29,6 +29,8 @@ from repro.join.mbr_join import plane_sweep_mbr_join
 from repro.join.objects import SpatialObject
 from repro.join.pipeline import PIPELINES, Stage
 from repro.join.stats import JoinRunStats
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import trace
 from repro.raster.april import build_april
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.topology.de9im import TopologicalRelation
@@ -136,6 +138,12 @@ class DiskPartitionedJoin:
     # ------------------------------------------------------------------
     def run(self, include_disjoint: bool = False) -> tuple[list[DiskJoinResult], JoinRunStats]:
         """Join all tile pairs; returns deduplicated results and stats."""
+        with trace(
+            "disk_join", method=self.method, tiles_per_dim=self.tiles_per_dim
+        ):
+            return self._run(include_disjoint)
+
+    def _run(self, include_disjoint: bool) -> tuple[list[DiskJoinResult], JoinRunStats]:
         extent = self._load_meta()
         grid = RasterGrid(pad_dataspace(extent), order=self.grid_order)
         tw = extent.width / self.tiles_per_dim
@@ -145,46 +153,61 @@ class DiskPartitionedJoin:
         results: list[DiskJoinResult] = []
         pipeline = PIPELINES[self.method]
 
+        registry = get_registry() if metrics_enabled() else None
         for tx in range(self.tiles_per_dim):
             for ty in range(self.tiles_per_dim):
                 r_path = self._tile_path("r", tx, ty)
                 s_path = self._tile_path("s", tx, ty)
                 if not (r_path.exists() and s_path.exists()):
                     continue
-                r_objects = self._load_tile(r_path, grid)
-                s_objects = self._load_tile(s_path, grid)
-                pairs = plane_sweep_mbr_join(
-                    [o.box for o in r_objects], [o.box for o in s_objects]
-                )
-                # Reference-point deduplication.
-                tile_xmin = extent.xmin + tx * tw
-                tile_ymin = extent.ymin + ty * th
-                owned = []
-                for i, j in pairs:
-                    ref_x = max(r_objects[i].box.xmin, s_objects[j].box.xmin)
-                    ref_y = max(r_objects[i].box.ymin, s_objects[j].box.ymin)
-                    own_x = self._clamp(int((ref_x - extent.xmin) / tw))
-                    own_y = self._clamp(int((ref_y - extent.ymin) / th))
-                    if (own_x, own_y) == (tx, ty):
-                        owned.append((i, j))
-
-                tile_stats = JoinRunStats(method=self.method)
-                clock = time.perf_counter
-                for i, j in owned:
-                    t0 = clock()
-                    outcome = pipeline.find_relation(r_objects[i], s_objects[j])
-                    elapsed = clock() - t0
-                    if outcome.stage is Stage.REFINEMENT:
-                        tile_stats.refine_seconds += elapsed
-                    else:
-                        tile_stats.filter_seconds += elapsed
-                    tile_stats.record(outcome.relation, outcome.stage.value)
-                    if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
-                        continue
-                    results.append(
-                        DiskJoinResult(r_objects[i].oid, s_objects[j].oid, outcome.relation)
+                with trace("tile", tx=tx, ty=ty) as tile_span:
+                    r_objects = self._load_tile(r_path, grid)
+                    s_objects = self._load_tile(s_path, grid)
+                    pairs = plane_sweep_mbr_join(
+                        [o.box for o in r_objects], [o.box for o in s_objects]
                     )
-                total_stats = total_stats.merge(tile_stats)
+                    # Reference-point deduplication.
+                    tile_xmin = extent.xmin + tx * tw
+                    tile_ymin = extent.ymin + ty * th
+                    owned = []
+                    for i, j in pairs:
+                        ref_x = max(r_objects[i].box.xmin, s_objects[j].box.xmin)
+                        ref_y = max(r_objects[i].box.ymin, s_objects[j].box.ymin)
+                        own_x = self._clamp(int((ref_x - extent.xmin) / tw))
+                        own_y = self._clamp(int((ref_y - extent.ymin) / th))
+                        if (own_x, own_y) == (tx, ty):
+                            owned.append((i, j))
+                    if tile_span is not None:
+                        tile_span.attrs.update(
+                            r_objects=len(r_objects),
+                            s_objects=len(s_objects),
+                            pairs=len(pairs),
+                            owned=len(owned),
+                        )
+                    if registry is not None:
+                        # Owned-pair distribution across tiles: the
+                        # skew signal of a partitioned disk join.
+                        registry.observe(
+                            "repro_tile_pairs", len(owned), method=self.method
+                        )
+
+                    tile_stats = JoinRunStats(method=self.method)
+                    clock = time.perf_counter
+                    for i, j in owned:
+                        t0 = clock()
+                        outcome = pipeline.find_relation(r_objects[i], s_objects[j])
+                        elapsed = clock() - t0
+                        if outcome.stage is Stage.REFINEMENT:
+                            tile_stats.refine_seconds += elapsed
+                        else:
+                            tile_stats.filter_seconds += elapsed
+                        tile_stats.record(outcome.relation, outcome.stage.value)
+                        if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
+                            continue
+                        results.append(
+                            DiskJoinResult(r_objects[i].oid, s_objects[j].oid, outcome.relation)
+                        )
+                    total_stats = total_stats.merge(tile_stats)
         results.sort(key=lambda link: (link.r_id, link.s_id))
         return results, total_stats
 

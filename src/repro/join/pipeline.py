@@ -40,6 +40,9 @@ from repro.filters.mbr import MBRRelationship, classify_mbr_pair, mbr_candidates
 from repro.filters.relate_filters import RelateVerdict, relate_filter
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.stats import JoinRunStats
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.progress import progress_reporter
+from repro.obs.trace import add_span, trace
 from repro.topology.de9im import (
     SPECIFIC_TO_GENERAL,
     TopologicalRelation as T,
@@ -291,20 +294,63 @@ def run_find_relation(
 
     clock = time.perf_counter
     pairs = list(pairs)
-    t0 = clock()
-    verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
-    stats.filter_seconds += clock() - t0
-    for (i, j), (verdict, stage) in zip(pairs, verdicts):
-        if verdict.definite is not None:
-            stats.record(verdict.definite, stage.value)
-            continue
-        assert verdict.refine_candidates is not None
-        t1 = clock()
-        relation = pipeline.refine_pair(
-            r_objects[i], s_objects[j], verdict.refine_candidates
+    with trace("run_find_relation", method=pipeline.name, pairs=len(pairs)):
+        registry = get_registry() if metrics_enabled() else None
+        # MBR cases are re-derived (cheap float compares) only when the
+        # per-case verdict counters are actually wanted.
+        cases = (
+            [
+                classify_mbr_pair(r_objects[i].box, s_objects[j].box).value
+                for i, j in pairs
+            ]
+            if registry is not None
+            else None
         )
-        stats.refine_seconds += clock() - t1
-        stats.record(relation, "refinement")
+        reporter = progress_reporter(pipeline.name, len(pairs))
+
+        t0 = clock()
+        with trace("filter", pairs=len(pairs)):
+            verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
+        stats.filter_seconds += clock() - t0
+        for k, ((i, j), (verdict, stage)) in enumerate(zip(pairs, verdicts)):
+            if reporter is not None and (k & 255) == 0:
+                reporter.tick(k, detail=f"{stats.refined} refined")
+            if verdict.definite is not None:
+                stats.record(verdict.definite, stage.value)
+                if registry is not None:
+                    registry.inc(
+                        "repro_verdicts_total",
+                        method=pipeline.name,
+                        case=cases[k],
+                        stage=stage.value,
+                        relation=verdict.definite.value,
+                    )
+                continue
+            assert verdict.refine_candidates is not None
+            t1 = clock()
+            relation = pipeline.refine_pair(
+                r_objects[i], s_objects[j], verdict.refine_candidates
+            )
+            elapsed = clock() - t1
+            stats.refine_seconds += elapsed
+            stats.record(relation, "refinement")
+            if registry is not None:
+                registry.inc(
+                    "repro_verdicts_total",
+                    method=pipeline.name,
+                    case=cases[k],
+                    stage="refinement",
+                    relation=relation.value,
+                )
+                registry.observe(
+                    "repro_refine_latency_seconds", elapsed, method=pipeline.name
+                )
+        # Aggregate of the per-pair refinement sections above, attached
+        # with its measured duration so span totals reconcile with
+        # ``refine_seconds`` instead of re-timing the loop.
+        add_span("refine", stats.refine_seconds, pairs=stats.refined)
+        if reporter is not None:
+            reporter.finish(detail=f"{stats.refined} refined")
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)
@@ -344,29 +390,57 @@ def run_relate(
     reset_access_tracking(s_objects)
 
     clock = time.perf_counter
-    for i, j in pairs:
-        r = r_objects[i]
-        s = s_objects[j]
-        t0 = clock()
-        verdict = relate_filter(
-            predicate, r.box, s.box, r.require_april(), s.require_april(),
-            r.polygon.is_connected and s.polygon.is_connected,
-        )
-        t1 = clock()
-        stats.filter_seconds += t1 - t0
-        if verdict is not RelateVerdict.UNKNOWN:
+    pairs = list(pairs)
+    with trace("run_relate", predicate=predicate.value, pairs=len(pairs)):
+        registry = get_registry() if metrics_enabled() else None
+        reporter = progress_reporter(stats.method, len(pairs))
+        for k, (i, j) in enumerate(pairs):
+            if reporter is not None and (k & 255) == 0:
+                reporter.tick(k, detail=f"{stats.refined} refined")
+            r = r_objects[i]
+            s = s_objects[j]
+            t0 = clock()
+            verdict = relate_filter(
+                predicate, r.box, s.box, r.require_april(), s.require_april(),
+                r.polygon.is_connected and s.polygon.is_connected,
+            )
+            t1 = clock()
+            stats.filter_seconds += t1 - t0
+            if verdict is not RelateVerdict.UNKNOWN:
+                stats.pairs += 1
+                stats.resolved_if += 1
+                if verdict is RelateVerdict.YES:
+                    stats.relation_counts[predicate] += 1
+                if registry is not None:
+                    registry.inc(
+                        "repro_relate_verdicts_total",
+                        predicate=predicate.value,
+                        stage="if",
+                        verdict=verdict.value,
+                    )
+                continue
+            matrix = relate(r.access_geometry(), s.access_geometry())
+            holds = relation_holds(matrix, predicate)
+            elapsed = clock() - t1
+            stats.refine_seconds += elapsed
             stats.pairs += 1
-            stats.resolved_if += 1
-            if verdict is RelateVerdict.YES:
+            stats.refined += 1
+            if holds:
                 stats.relation_counts[predicate] += 1
-            continue
-        matrix = relate(r.access_geometry(), s.access_geometry())
-        holds = relation_holds(matrix, predicate)
-        stats.refine_seconds += clock() - t1
-        stats.pairs += 1
-        stats.refined += 1
-        if holds:
-            stats.relation_counts[predicate] += 1
+            if registry is not None:
+                registry.inc(
+                    "repro_relate_verdicts_total",
+                    predicate=predicate.value,
+                    stage="refinement",
+                    verdict="yes" if holds else "no",
+                )
+                registry.observe(
+                    "repro_refine_latency_seconds", elapsed, method=stats.method
+                )
+        add_span("filter", stats.filter_seconds, pairs=len(pairs))
+        add_span("refine", stats.refine_seconds, pairs=stats.refined)
+        if reporter is not None:
+            reporter.finish(detail=f"{stats.refined} refined")
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)

@@ -46,7 +46,12 @@ class JoinRunStats:
 
     @property
     def throughput(self) -> float:
-        """MBR-filtered pairs processed per second (Fig. 7a's metric)."""
+        """MBR-filtered pairs processed per second (Fig. 7a's metric).
+
+        ``inf`` when no time was recorded — callers that serialize must
+        use :meth:`to_dict`, which omits the value in that case
+        (``Infinity`` is not valid JSON).
+        """
         if self.total_seconds == 0.0:
             return float("inf")
         return self.pairs / self.total_seconds
@@ -117,6 +122,69 @@ class JoinRunStats:
             merged.r_objects_total += other.r_objects_total
             merged.s_objects_total += other.s_objects_total
         return merged
+
+    # ------------------------------------------------------------------
+    # serialization (the structured-run-report format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict of all counters, timings and derived measures.
+
+        Strictly finite: ``throughput`` is omitted when no time was
+        recorded instead of serializing ``float("inf")``, which
+        ``json.dumps`` renders as the invalid-JSON token ``Infinity``.
+        """
+        d = {
+            "method": self.method,
+            "pairs": self.pairs,
+            "resolved_mbr": self.resolved_mbr,
+            "resolved_if": self.resolved_if,
+            "refined": self.refined,
+            "relation_counts": {
+                relation.value: count
+                for relation, count in sorted(
+                    self.relation_counts.items(), key=lambda kv: kv[0].value
+                )
+                if count
+            },
+            "filter_seconds": self.filter_seconds,
+            "refine_seconds": self.refine_seconds,
+            "total_seconds": self.total_seconds,
+            "r_objects_accessed": self.r_objects_accessed,
+            "s_objects_accessed": self.s_objects_accessed,
+            "r_objects_total": self.r_objects_total,
+            "s_objects_total": self.s_objects_total,
+            "undetermined_pct": self.undetermined_pct,
+            "geometry_access_pct": self.geometry_access_pct,
+        }
+        if self.total_seconds > 0.0:
+            d["throughput"] = self.throughput
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JoinRunStats":
+        """Rebuild a stats record from :meth:`to_dict` output.
+
+        Derived measures (``throughput`` etc.) are recomputed, not
+        read back, so a round trip cannot smuggle in stale values.
+        """
+        stats = cls(method=data["method"])
+        stats.pairs = int(data.get("pairs", 0))
+        stats.resolved_mbr = int(data.get("resolved_mbr", 0))
+        stats.resolved_if = int(data.get("resolved_if", 0))
+        stats.refined = int(data.get("refined", 0))
+        stats.relation_counts = Counter(
+            {
+                TopologicalRelation(value): count
+                for value, count in data.get("relation_counts", {}).items()
+            }
+        )
+        stats.filter_seconds = float(data.get("filter_seconds", 0.0))
+        stats.refine_seconds = float(data.get("refine_seconds", 0.0))
+        stats.r_objects_accessed = int(data.get("r_objects_accessed", 0))
+        stats.s_objects_accessed = int(data.get("s_objects_accessed", 0))
+        stats.r_objects_total = int(data.get("r_objects_total", 0))
+        stats.s_objects_total = int(data.get("s_objects_total", 0))
+        return stats
 
     def summary(self) -> str:
         """One-line human-readable digest."""

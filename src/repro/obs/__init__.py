@@ -1,0 +1,105 @@
+"""repro.obs — zero-dependency observability for the join pipeline.
+
+Three cooperating parts, all off by default and all stdlib-only:
+
+- :mod:`repro.obs.trace` — hierarchical span tracer. Stage-, tile- and
+  partition-level spans nested into one tree per run; ~ns disabled
+  cost; worker spans serialize through the result pipe and merge in
+  deterministic partition order.
+- :mod:`repro.obs.metrics` — labelled counters and fixed-log-bucket
+  histograms (verdicts per MBR case, interval-list lengths, refinement
+  latency, pairs per worker/tile), exported as JSON and Prometheus
+  text exposition; per-worker registries merge exactly.
+- :mod:`repro.obs.report` — structured run reports and the JSONL run
+  log; sampled per-pair deep traces reuse :mod:`repro.join.explain`.
+- :mod:`repro.obs.progress` — throttled per-worker heartbeats.
+
+Enable pieces independently (``set_tracing`` / ``set_metrics`` /
+``set_progress``) or everything at once with :func:`enable_all`; the
+CLI flags ``--trace``, ``--metrics-out``, ``--progress`` map onto
+these. The submodules import nothing from ``repro`` at module level,
+so every layer — geometry to CLI — may instrument itself freely.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    parse_prometheus,
+    reset_metrics,
+    set_metrics,
+)
+from repro.obs.progress import (
+    ProgressReporter,
+    progress_enabled,
+    progress_reporter,
+    set_progress,
+)
+from repro.obs.report import (
+    RunReport,
+    append_jsonl,
+    read_jsonl,
+    sample_explanations,
+    write_metrics_files,
+)
+from repro.obs.trace import (
+    Span,
+    add_span,
+    attach_spans,
+    export_spans,
+    get_spans,
+    reset_tracing,
+    set_tracing,
+    span_totals,
+    trace,
+    tracing_enabled,
+)
+
+
+def enable_all() -> None:
+    """Switch tracing, metrics and progress on together."""
+    set_tracing(True)
+    set_metrics(True)
+    set_progress(True)
+
+
+def disable_all() -> None:
+    """Switch every observability feature off and drop collected data."""
+    set_tracing(False)
+    set_metrics(False)
+    set_progress(False)
+    reset_tracing()
+    reset_metrics()
+
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "RunReport",
+    "Span",
+    "add_span",
+    "append_jsonl",
+    "attach_spans",
+    "disable_all",
+    "enable_all",
+    "export_spans",
+    "get_registry",
+    "get_spans",
+    "metrics_enabled",
+    "parse_prometheus",
+    "progress_enabled",
+    "progress_reporter",
+    "read_jsonl",
+    "reset_metrics",
+    "reset_tracing",
+    "sample_explanations",
+    "set_metrics",
+    "set_progress",
+    "set_tracing",
+    "span_totals",
+    "trace",
+    "tracing_enabled",
+    "write_metrics_files",
+]

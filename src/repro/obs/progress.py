@@ -1,0 +1,96 @@
+"""Per-worker progress heartbeats for long joins.
+
+A multi-minute join over millions of candidate pairs is silent today:
+nothing distinguishes a skewed straggler partition from a hang. When
+enabled (CLI ``--progress``), every runner — the serial loop and each
+forked worker — emits a throttled heartbeat line to stderr::
+
+    [P+C part=3] 12000/51200 pairs, 860 refined
+
+The module flag travels into workers by fork inheritance, so enabling
+progress in the parent is enough. Emission is wall-clock throttled
+(default: one line per 0.5 s per reporter), and the disabled path costs
+one ``None`` check per loop iteration in the callers.
+
+stdlib only; no imports from ``repro`` (same rule as the sibling
+modules, so every layer can use it without cycles).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TextIO
+
+__all__ = [
+    "ProgressReporter",
+    "progress_enabled",
+    "progress_reporter",
+    "set_progress",
+]
+
+_ENABLED = False
+#: Minimum seconds between heartbeat lines of one reporter.
+HEARTBEAT_SECONDS = 0.5
+
+
+def set_progress(enabled: bool) -> None:
+    """Turn heartbeat emission on or off (module-wide, fork-inherited)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def progress_enabled() -> bool:
+    return _ENABLED
+
+
+class ProgressReporter:
+    """Throttled heartbeat printer for one partition/stage."""
+
+    __slots__ = ("label", "total", "stream", "interval", "_last")
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        stream: TextIO | None = None,
+        interval: float = HEARTBEAT_SECONDS,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._last = time.perf_counter()
+
+    def tick(self, done: int, detail: str = "") -> None:
+        """Maybe emit a heartbeat; cheap when called inside the window."""
+        now = time.perf_counter()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        suffix = f", {detail}" if detail else ""
+        print(
+            f"[{self.label}] {done}/{self.total} pairs{suffix}",
+            file=self.stream,
+            flush=True,
+        )
+
+    def finish(self, detail: str = "") -> None:
+        """Unconditional final line so every partition reports once."""
+        suffix = f", {detail}" if detail else ""
+        print(
+            f"[{self.label}] done {self.total}/{self.total} pairs{suffix}",
+            file=self.stream,
+            flush=True,
+        )
+
+
+def progress_reporter(label: str, total: int) -> ProgressReporter | None:
+    """A reporter when progress is enabled, else ``None``.
+
+    Callers hold the result and guard their loop with a single
+    ``is not None`` test — the entire disabled-path cost.
+    """
+    if not _ENABLED:
+        return None
+    return ProgressReporter(label, total)

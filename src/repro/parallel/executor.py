@@ -32,10 +32,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.filters.mbr import classify_mbr_pair
 from repro.join.mbr_join import partition_pairs_by_tile
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.pipeline import PIPELINES, Pipeline, Stage, relate_predicate
 from repro.join.stats import JoinRunStats
+from repro.obs.metrics import get_registry, metrics_enabled, reset_metrics
+from repro.obs.progress import progress_reporter
+from repro.obs.trace import (
+    add_span,
+    attach_spans,
+    export_spans,
+    reset_tracing,
+    trace,
+    tracing_enabled,
+)
 from repro.parallel.chunking import chunk_pairs
 from repro.topology.de9im import TopologicalRelation
 
@@ -92,29 +103,66 @@ def _find_outcomes(
     r_objects: Sequence[SpatialObject],
     s_objects: Sequence[SpatialObject],
     pairs: Sequence[tuple[int, int]],
+    label: str = "",
 ) -> tuple[list[PairOutcome], JoinRunStats]:
     stats = JoinRunStats(method=pipeline.name)
     outcomes: list[PairOutcome] = []
     clock = time.perf_counter
     pairs = list(pairs)
+    registry = get_registry() if metrics_enabled() else None
+    cases = None
+    if registry is not None:
+        # Same per-case verdict labels as the serial runner, so the
+        # merged worker registries equal a serial run's counters.
+        cases = [
+            classify_mbr_pair(r_objects[i].box, s_objects[j].box).value
+            for i, j in pairs
+        ]
+    reporter = progress_reporter(label or pipeline.name, len(pairs))
     t0 = clock()
     # Batched filter stage: every worker runs the same vectorised
     # kernels, so the per-pair screen is amortised inside each partition.
-    verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
+    with trace("filter", pairs=len(pairs)):
+        verdicts = pipeline.filter_pairs(r_objects, s_objects, pairs)
     stats.filter_seconds += clock() - t0
-    for (i, j), (verdict, stage) in zip(pairs, verdicts):
+    for k, ((i, j), (verdict, stage)) in enumerate(zip(pairs, verdicts)):
+        if reporter is not None and (k & 255) == 0:
+            reporter.tick(k, detail=f"{stats.refined} refined")
         if verdict.definite is not None:
             stats.record(verdict.definite, stage.value)
             outcomes.append((i, j, verdict.definite, True))
+            if registry is not None:
+                registry.inc(
+                    "repro_verdicts_total",
+                    method=pipeline.name,
+                    case=cases[k],
+                    stage=stage.value,
+                    relation=verdict.definite.value,
+                )
             continue
         assert verdict.refine_candidates is not None
         t1 = clock()
         relation = pipeline.refine_pair(
             r_objects[i], s_objects[j], verdict.refine_candidates
         )
-        stats.refine_seconds += clock() - t1
+        elapsed = clock() - t1
+        stats.refine_seconds += elapsed
         stats.record(relation, "refinement")
         outcomes.append((i, j, relation, False))
+        if registry is not None:
+            registry.inc(
+                "repro_verdicts_total",
+                method=pipeline.name,
+                case=cases[k],
+                stage="refinement",
+                relation=relation.value,
+            )
+            registry.observe(
+                "repro_refine_latency_seconds", elapsed, method=pipeline.name
+            )
+    add_span("refine", stats.refine_seconds, pairs=stats.refined)
+    if reporter is not None:
+        reporter.finish(detail=f"{stats.refined} refined")
     return outcomes, stats
 
 
@@ -136,13 +184,18 @@ def _relate_outcomes(
     r_objects: Sequence[SpatialObject],
     s_objects: Sequence[SpatialObject],
     pairs: Sequence[tuple[int, int]],
+    label: str = "",
 ) -> tuple[list[tuple[int, int]], JoinRunStats, set[int], set[int]]:
     stats = JoinRunStats(method=f"relate[{predicate.value}]")
     matches: list[tuple[int, int]] = []
     touched_r: set[int] = set()
     touched_s: set[int] = set()
     clock = time.perf_counter
-    for i, j in pairs:
+    registry = get_registry() if metrics_enabled() else None
+    reporter = progress_reporter(label or stats.method, len(pairs))
+    for k, (i, j) in enumerate(pairs):
+        if reporter is not None and (k & 255) == 0:
+            reporter.tick(k, detail=f"{stats.refined} refined")
         t0 = clock()
         holds, stage = relate_predicate(predicate, r_objects[i], s_objects[j])
         elapsed = clock() - t0
@@ -158,27 +211,89 @@ def _relate_outcomes(
         if holds:
             stats.relation_counts[predicate] += 1
             matches.append((i, j))
+        if registry is not None:
+            registry.inc(
+                "repro_relate_verdicts_total",
+                predicate=predicate.value,
+                stage="refinement" if stage is Stage.REFINEMENT else "if",
+                verdict="yes" if holds else "no",
+            )
+            if stage is Stage.REFINEMENT:
+                registry.observe(
+                    "repro_refine_latency_seconds", elapsed, method=stats.method
+                )
+    add_span("filter", stats.filter_seconds, pairs=len(pairs))
+    add_span("refine", stats.refine_seconds, pairs=stats.refined)
+    if reporter is not None:
+        reporter.finish(detail=f"{stats.refined} refined")
     return matches, stats, touched_r, touched_s
 
 
+def _worker_obs_begin() -> None:
+    """Swap in fresh obs collectors in a forked worker.
+
+    The enabled flags travel by fork inheritance; only the collected
+    data must be reset so the worker exports nothing but its own.
+    """
+    if tracing_enabled():
+        reset_tracing()
+    if metrics_enabled():
+        reset_metrics()
+
+
+def _worker_obs_export() -> dict | None:
+    """The worker's spans and metrics registry, or ``None`` when off."""
+    payload: dict = {}
+    if tracing_enabled():
+        payload["spans"] = export_spans()
+    if metrics_enabled():
+        payload["metrics"] = get_registry()
+    return payload or None
+
+
+def _merge_worker_obs(payloads: Sequence[dict | None]) -> None:
+    """Fold worker obs payloads into the parent, in partition order.
+
+    ``pool.map`` returns results in task order, so the grafted span
+    forest and the merged registry are deterministic for any worker
+    count — the same guarantee the ``(i, j)``-sorted result merge gives.
+    """
+    for payload in payloads:
+        if not payload:
+            continue
+        if "spans" in payload:
+            attach_spans(payload["spans"])
+        if "metrics" in payload:
+            get_registry().merge(payload["metrics"])
+
+
 def _find_worker(part_index: int):
-    outcomes, stats = _find_outcomes(
-        PIPELINES[_STATE["method"]],
-        _STATE["r_objects"],
-        _STATE["s_objects"],
-        _STATE["parts"][part_index],
-    )
+    _worker_obs_begin()
+    part = _STATE["parts"][part_index]
+    with trace("partition", part=part_index, pairs=len(part)):
+        outcomes, stats = _find_outcomes(
+            PIPELINES[_STATE["method"]],
+            _STATE["r_objects"],
+            _STATE["s_objects"],
+            part,
+            label=f"{_STATE['method']} part={part_index}",
+        )
     touched_r, touched_s = _find_touched(outcomes)
-    return outcomes, stats, touched_r, touched_s
+    return outcomes, stats, touched_r, touched_s, _worker_obs_export()
 
 
 def _relate_worker(part_index: int):
-    return _relate_outcomes(
-        _STATE["predicate"],
-        _STATE["r_objects"],
-        _STATE["s_objects"],
-        _STATE["parts"][part_index],
-    )
+    _worker_obs_begin()
+    part = _STATE["parts"][part_index]
+    with trace("partition", part=part_index, pairs=len(part)):
+        matches, stats, touched_r, touched_s = _relate_outcomes(
+            _STATE["predicate"],
+            _STATE["r_objects"],
+            _STATE["s_objects"],
+            part,
+            label=f"relate part={part_index}",
+        )
+    return matches, stats, touched_r, touched_s, _worker_obs_export()
 
 
 # ----------------------------------------------------------------------
@@ -262,7 +377,10 @@ def run_find_relation_parallel(
     reset_access_tracking(s_objects)
 
     if workers <= 1 or len(pairs) < 2 or not fork_available():
-        outcomes, stats = _find_outcomes(PIPELINES[name], r_objects, s_objects, pairs)
+        with trace("parallel_find", method=name, workers=1, partitions=1):
+            outcomes, stats = _find_outcomes(
+                PIPELINES[name], r_objects, s_objects, pairs, label=f"{name} serial"
+            )
         touched_r, touched_s = _find_touched(outcomes)
         outcomes.sort(key=lambda t: (t[0], t[1]))
         return ParallelFindRun(
@@ -277,13 +395,22 @@ def run_find_relation_parallel(
         r_objects, s_objects, pairs, workers, chunk_size, partition, tiles_per_dim
     )
     state = {"method": name, "r_objects": list(r_objects), "s_objects": list(s_objects)}
-    part_results = _run_pool(_find_worker, parts, state, workers)
+    with trace(
+        "parallel_find", method=name, workers=workers, partitions=len(parts)
+    ):
+        part_results = _run_pool(_find_worker, parts, state, workers)
+        _merge_worker_obs([obs for *_, obs in part_results])
+    if metrics_enabled():
+        registry = get_registry()
+        for part in parts:
+            # Pairs per partition: the skew signal of the fan-out.
+            registry.observe("repro_partition_pairs", len(part), method=name)
 
     outcomes: list[PairOutcome] = []
     touched_r: set[int] = set()
     touched_s: set[int] = set()
-    merged = JoinRunStats(method=name).merge(*(st for _, st, _, _ in part_results))
-    for part_outcomes, _, part_r, part_s in part_results:
+    merged = JoinRunStats(method=name).merge(*(st for _, st, _, _, _ in part_results))
+    for part_outcomes, _, part_r, part_s, _ in part_results:
         outcomes.extend(part_outcomes)
         touched_r.update(part_r)
         touched_s.update(part_s)
@@ -323,9 +450,10 @@ def run_relate_parallel(
     reset_access_tracking(s_objects)
 
     if workers <= 1 or len(pairs) < 2 or not fork_available():
-        matches, stats, touched_r, touched_s = _relate_outcomes(
-            predicate, r_objects, s_objects, pairs
-        )
+        with trace("parallel_relate", predicate=predicate.value, workers=1):
+            matches, stats, touched_r, touched_s = _relate_outcomes(
+                predicate, r_objects, s_objects, pairs, label="relate serial"
+            )
         matches.sort()
         return ParallelRelateRun(
             matches=matches,
@@ -343,15 +471,28 @@ def run_relate_parallel(
         "r_objects": list(r_objects),
         "s_objects": list(s_objects),
     }
-    part_results = _run_pool(_relate_worker, parts, state, workers)
+    with trace(
+        "parallel_relate",
+        predicate=predicate.value,
+        workers=workers,
+        partitions=len(parts),
+    ):
+        part_results = _run_pool(_relate_worker, parts, state, workers)
+        _merge_worker_obs([obs for *_, obs in part_results])
+    if metrics_enabled():
+        registry = get_registry()
+        for part in parts:
+            registry.observe(
+                "repro_partition_pairs", len(part), method=f"relate[{predicate.value}]"
+            )
 
     matches: list[tuple[int, int]] = []
     touched_r: set[int] = set()
     touched_s: set[int] = set()
     merged = JoinRunStats(method=f"relate[{predicate.value}]").merge(
-        *(st for _, st, _, _ in part_results)
+        *(st for _, st, _, _, _ in part_results)
     )
-    for part_matches, _, part_r, part_s in part_results:
+    for part_matches, _, part_r, part_s, _ in part_results:
         matches.extend(part_matches)
         touched_r.update(part_r)
         touched_s.update(part_s)

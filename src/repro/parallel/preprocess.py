@@ -20,7 +20,9 @@ import multiprocessing
 from typing import Sequence
 
 from repro.geometry.polygon import Polygon
-from repro.raster.april import AprilApproximation, build_april
+from repro.obs.metrics import metrics_enabled
+from repro.obs.trace import trace
+from repro.raster.april import AprilApproximation, build_april, observe_april_metrics
 from repro.raster.grid import RasterGrid
 from repro.parallel.executor import default_workers, fork_available
 
@@ -67,15 +69,25 @@ def build_april_parallel(
     ctx = multiprocessing.get_context("fork")
     _STATE.update(polygons=polygons, grid=grid)
     try:
-        with ctx.Pool(processes=workers) as pool:
-            parts = pool.map(_build_span, spans)
+        with trace(
+            "build_april_parallel", count=len(polygons), workers=workers
+        ):
+            with ctx.Pool(processes=workers) as pool:
+                parts = pool.map(_build_span, spans)
     except Exception:
         # Non-picklable results or pool breakage: redo serially. A
         # genuinely broken polygon re-raises the same error here.
         return [build_april(p, grid) for p in polygons]
     finally:
         _STATE.clear()
-    return [approx for part in parts for approx in part]
+    approximations = [approx for part in parts for approx in part]
+    if metrics_enabled():
+        # Worker registries from this pool are discarded with the
+        # workers; recording parent-side keeps the interval-size
+        # distributions identical to a serial build.
+        for approx in approximations:
+            observe_april_metrics(approx)
+    return approximations
 
 
 __all__ = ["MIN_PARALLEL_POLYGONS", "build_april_parallel"]

@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import trace
 from repro.raster.grid import RasterGrid
 from repro.raster.intervals import IntervalList
 from repro.raster.rasterize import rasterize_polygon
@@ -73,7 +75,24 @@ def build_april(
 
     p_list = IntervalList.from_cells(full_ids)
     c_list = IntervalList.from_cells(np.concatenate((full_ids, partial_ids)))
-    return AprilApproximation(grid=grid, p=p_list, c=c_list)
+    approx = AprilApproximation(grid=grid, p=p_list, c=c_list)
+    if metrics_enabled():
+        observe_april_metrics(approx)
+    return approx
+
+
+def observe_april_metrics(approx: AprilApproximation) -> None:
+    """Record one approximation's interval-list size distributions.
+
+    Called by :func:`build_april` directly; the parallel preprocessor
+    calls it parent-side for pool-built approximations (whose worker
+    registries are discarded), keeping the counts identical to a
+    serial build for every worker count.
+    """
+    registry = get_registry()
+    registry.observe("repro_april_intervals", len(approx.p), list="p")
+    registry.observe("repro_april_intervals", len(approx.c), list="c")
+    registry.observe("repro_april_bytes", approx.nbytes)
 
 
 def build_april_many(
@@ -82,7 +101,14 @@ def build_april_many(
     max_cells: int = 64_000_000,
 ) -> list[AprilApproximation]:
     """Build approximations for a whole dataset (the preprocessing step)."""
-    return [build_april(p, grid, max_cells=max_cells) for p in polygons]
+    polygons = list(polygons)
+    with trace("build_april_many", count=len(polygons)):
+        return [build_april(p, grid, max_cells=max_cells) for p in polygons]
 
 
-__all__ = ["AprilApproximation", "build_april", "build_april_many"]
+__all__ = [
+    "AprilApproximation",
+    "build_april",
+    "build_april_many",
+    "observe_april_metrics",
+]

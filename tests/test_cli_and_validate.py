@@ -97,6 +97,121 @@ class TestCli:
         assert "polygons:" in text
 
 
+class TestCliObservability:
+    @pytest.fixture(autouse=True)
+    def obs_off(self):
+        # The CLI flags flip module-wide switches; keep them from
+        # leaking into other tests running in this process.
+        from repro import obs
+
+        obs.disable_all()
+        obs.set_progress(False)
+        yield
+        obs.disable_all()
+        obs.set_progress(False)
+
+    def test_join_with_all_obs_flags(self, wkt_files, tmp_path, capsys):
+        import json
+
+        from repro.obs.metrics import parse_prometheus
+        from repro.obs.report import read_jsonl
+
+        r, s = wkt_files
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        log_path = tmp_path / "runs.jsonl"
+        assert main([
+            "join", r, s, "--grid-order", "9",
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--explain-sample", "2",
+            "--run-log", str(log_path),
+        ]) == 0
+        out, err = capsys.readouterr()
+
+        spans = json.loads(trace_path.read_text())
+        names = {spans[0]["name"]} | {
+            c["name"] for c in spans[0].get("children", [])
+        }
+        assert "topology_join" in names
+
+        metrics = json.loads(metrics_path.read_text())
+        assert any(
+            c["name"] == "repro_verdicts_total" for c in metrics["counters"]
+        )
+        prom = (tmp_path / "metrics.json.prom").read_text()
+        assert parse_prometheus(prom)  # strict round trip
+
+        (record,) = read_jsonl(log_path)
+        assert record["kind"] == "join_run"
+        assert record["stats"]["pairs"] > 0
+        assert record["spans"] and record["metrics"]
+        assert "# explain pair" in err or not record.get("explain_samples")
+
+    def test_join_trace_to_stderr(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["join", r, s, "--grid-order", "9", "--trace", "-"]) == 0
+        err = capsys.readouterr().err
+        assert "topology_join" in err and "ms" in err
+
+    def test_join_results_unchanged_by_obs(self, wkt_files, tmp_path, capsys):
+        r, s = wkt_files
+        assert main(["join", r, s, "--grid-order", "9"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "join", r, s, "--grid-order", "9",
+            "--trace", str(tmp_path / "t.json"),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_predicate_join_run_log(self, wkt_files, tmp_path, capsys):
+        from repro.obs.report import read_jsonl
+
+        r, s = wkt_files
+        log_path = tmp_path / "runs.jsonl"
+        assert main([
+            "join", r, s, "--grid-order", "9", "--predicate", "intersects",
+            "--run-log", str(log_path),
+        ]) == 0
+        (record,) = read_jsonl(log_path)
+        assert record["meta"]["predicate"] == "intersects"
+        assert "matches" in record["meta"]
+
+    def test_explain_subcommand(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["explain", r, s, "--index", "0", "3",
+                     "--grid-order", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "pair (r=0, s=3)" in out
+        assert "MBR" in out or "mbr" in out
+
+    def test_explain_default_index(self, wkt_files, capsys):
+        r, s = wkt_files
+        assert main(["explain", r, s]) == 0
+        assert "pair (r=0, s=0)" in capsys.readouterr().out
+
+    def test_explain_index_out_of_range(self, wkt_files):
+        r, s = wkt_files
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["explain", r, s, "--index", "99", "0"])
+        with pytest.raises(SystemExit, match="out of range"):
+            main(["explain", r, s, "--index", "0", "-1"])
+
+    def test_experiments_run_log(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main as experiments_main
+        from repro.obs.report import read_jsonl
+
+        log_path = tmp_path / "exp.jsonl"
+        assert experiments_main([
+            "table2", "--scale", "0.1", "--run-log", str(log_path)
+        ]) == 0
+        (record,) = read_jsonl(log_path)
+        assert record["kind"] == "experiment"
+        assert record["method"] == "table2"
+        assert record["meta"]["result"]["rows"]
+
+
 class TestValidityReport:
     def test_valid_polygon_empty_report(self):
         assert validity_report(Polygon.box(0, 0, 10, 10)) == []

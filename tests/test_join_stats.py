@@ -1,5 +1,7 @@
 """Unit tests for JoinRunStats derived measures."""
 
+import json
+
 import pytest
 
 from repro.join.stats import JoinRunStats
@@ -82,3 +84,69 @@ class TestMerge:
         b = JoinRunStats(method="P+C")
         with pytest.raises(ValueError):
             a.merge(b)
+
+    def test_variadic_merge_rejects_any_mismatched_part(self):
+        a = JoinRunStats(method="P+C")
+        b = JoinRunStats(method="P+C")
+        c = JoinRunStats(method="APRIL")
+        with pytest.raises(ValueError):
+            a.merge(b, c)
+
+    def test_variadic_merge_is_associative(self):
+        parts = []
+        for k in range(4):
+            st = make_stats(
+                pairs=10 + k, refined=k, filter_seconds=0.25,
+                r_objects_total=2, s_objects_total=3,
+            )
+            st.relation_counts[T.MEETS] = k
+            parts.append(st)
+        flat = parts[0].merge(*parts[1:])
+        nested = parts[0].merge(parts[1]).merge(parts[2].merge(parts[3]))
+        assert flat.to_dict() == nested.to_dict()
+        assert flat.relation_counts == nested.relation_counts
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = make_stats(pairs=3)
+        b = make_stats(pairs=4)
+        a.merge(b)
+        assert a.pairs == 3 and b.pairs == 4
+
+    def test_merge_sums_object_totals_documented_overcount(self):
+        # merge() sums the object-universe fields, which is right for
+        # partitioned inputs (disk-join tiles) but an overcount when
+        # parts share one object universe — pair-stream executors must
+        # overwrite the fields after merging (the docstring's caveat).
+        a = make_stats(r_objects_total=10, s_objects_total=10)
+        b = make_stats(r_objects_total=10, s_objects_total=10)
+        merged = a.merge(b)
+        assert merged.r_objects_total == 20  # NOT deduplicated
+        assert merged.s_objects_total == 20
+
+
+class TestSerialization:
+    def test_to_dict_omits_infinite_throughput(self):
+        # Regression: pairs>0 with zero recorded time used to put
+        # float("inf") in the dict, which json.dumps renders as the
+        # invalid-JSON token "Infinity".
+        stats = make_stats(pairs=5)
+        d = stats.to_dict()
+        assert "throughput" not in d
+        text = json.dumps(d, allow_nan=False)  # must not raise
+        assert "Infinity" not in text
+        # The live property still reports inf for in-process callers.
+        assert stats.throughput == float("inf")
+
+    def test_to_dict_includes_finite_throughput(self):
+        stats = make_stats(pairs=100, filter_seconds=0.5, refine_seconds=0.5)
+        d = stats.to_dict()
+        assert d["throughput"] == 100.0
+        assert d["total_seconds"] == 1.0
+
+    def test_round_trip_recomputes_derived(self):
+        stats = make_stats(pairs=40, refined=10, filter_seconds=0.5)
+        stats.relation_counts[T.INSIDE] = 40
+        rebuilt = JoinRunStats.from_dict(stats.to_dict())
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.undetermined_pct == stats.undetermined_pct
+        assert rebuilt.relation_counts[T.INSIDE] == 40

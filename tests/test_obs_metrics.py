@@ -1,0 +1,183 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    parse_prometheus,
+    reset_metrics,
+    set_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    set_metrics(False)
+    reset_metrics()
+    yield
+    set_metrics(False)
+    reset_metrics()
+
+
+class TestGlobals:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+
+    def test_enable_and_reset(self):
+        set_metrics(True)
+        assert metrics_enabled()
+        reg = get_registry()
+        assert isinstance(reg, MetricsRegistry)
+        reg.inc("c")
+        reset_metrics()
+        assert get_registry().counter_values() == {}
+
+
+class TestCounters:
+    def test_inc_and_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_verdicts_total", method="P+C", stage="filter")
+        reg.inc("repro_verdicts_total", method="P+C", stage="filter")
+        reg.inc("repro_verdicts_total", method="P+C", stage="refinement", value=3)
+        flat = reg.counter_values()
+        assert flat['repro_verdicts_total{method="P+C",stage="filter"}'] == 2
+        assert flat['repro_verdicts_total{method="P+C",stage="refinement"}'] == 3
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.inc("c", a="1", b="2")
+        reg.inc("c", b="2", a="1")
+        assert list(reg.counter_values().values()) == [2]
+
+    def test_merge_sums_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", k="x")
+        b.inc("c", k="x", value=4)
+        b.inc("c", k="y")
+        a.merge(b)
+        flat = a.counter_values()
+        assert flat['c{k="x"}'] == 5
+        assert flat['c{k="y"}'] == 1
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_powers_of_two(self):
+        h = Histogram()
+        for v in (1.0, 1.5, 2.0, 3.0, 4.0, 0.25):
+            h.observe(v)
+        assert h.count == 6
+        assert h.sum == pytest.approx(11.75)
+        # Dict keys are each bucket's upper bound: [1,2) holds 1.0 and
+        # 1.5; [2,4) holds 2.0 and 3.0; [4,8) holds 4.0; [0.25,0.5)
+        # holds 0.25.
+        buckets = h.to_dict()["buckets"]
+        assert buckets["2.0"] == 2
+        assert buckets["4.0"] == 2
+        assert buckets["8.0"] == 1
+        assert buckets["0.5"] == 1
+
+    def test_non_positive_goes_to_underflow(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.count == 2
+        assert h.to_dict()["buckets"] == {"0": 2}
+
+    def test_merge_is_exact(self):
+        a, b = Histogram(), Histogram()
+        values_a = [0.001, 0.5, 7.0]
+        values_b = [0.001, 1024.0]
+        for v in values_a:
+            a.observe(v)
+        for v in values_b:
+            b.observe(v)
+        a.merge(b)
+        ref = Histogram()
+        for v in values_a + values_b:
+            ref.observe(v)
+        assert a.buckets == ref.buckets
+        assert a.count == ref.count
+        assert a.sum == pytest.approx(ref.sum)
+
+    def test_extreme_values_clamp(self):
+        h = Histogram()
+        h.observe(1e300)
+        h.observe(1e-300)
+        assert h.count == 2  # no crash, exponents clamped
+
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.inc("repro_verdicts_total", method="P+C", stage="filter", value=7)
+        reg.inc("repro_verdicts_total", method="P+C", stage="refinement", value=2)
+        reg.observe("repro_refine_latency_seconds", 0.003, method="P+C")
+        reg.observe("repro_refine_latency_seconds", 0.004, method="P+C")
+        reg.observe("repro_tile_pairs", 120.0, method="APRIL")
+        return reg
+
+    def test_to_dict_is_json_serialisable(self):
+        reg = self._populated()
+        text = json.dumps(reg.to_dict(), allow_nan=False)
+        assert "repro_verdicts_total" in text
+
+    def test_prometheus_round_trip(self):
+        reg = self._populated()
+        text = reg.to_prometheus()
+        assert "# TYPE repro_verdicts_total counter" in text
+        assert "# TYPE repro_refine_latency_seconds histogram" in text
+        parsed = parse_prometheus(text)
+        assert parsed['repro_verdicts_total{method="P+C",stage="filter"}'] == 7.0
+        # Histogram exposition: cumulative buckets end at +Inf == count.
+        inf_keys = [k for k in parsed if "+Inf" in k and "refine_latency" in k]
+        assert len(inf_keys) == 1
+        assert parsed[inf_keys[0]] == 2.0
+        count_keys = [k for k in parsed if k.startswith("repro_refine_latency_seconds_count")]
+        assert parsed[count_keys[0]] == 2.0
+
+    def test_prometheus_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 3.0, 100.0):
+            reg.observe("h", v)
+        parsed = parse_prometheus(reg.to_prometheus())
+        bucket_items = sorted(
+            (float(k.split('le="')[1].rstrip('"}')), v)
+            for k, v in parsed.items()
+            if k.startswith('h_bucket') and "+Inf" not in k
+        )
+        counts = [v for _, v in bucket_items]
+        assert counts == sorted(counts), "bucket counts must be non-decreasing"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_registry_merge_matches_serial(self):
+        # The worker-merge contract: two half-registries merged equal
+        # one registry fed everything.
+        whole = MetricsRegistry()
+        left, right = MetricsRegistry(), MetricsRegistry()
+        samples = [(0.001, "A"), (0.02, "A"), (0.3, "B"), (4.0, "B")]
+        for k, (v, m) in enumerate(samples):
+            whole.inc("repro_verdicts_total", method=m)
+            whole.observe("repro_refine_latency_seconds", v, method=m)
+            part = left if k % 2 == 0 else right
+            part.inc("repro_verdicts_total", method=m)
+            part.observe("repro_refine_latency_seconds", v, method=m)
+        left.merge(right)
+        assert left.counter_values() == whole.counter_values()
+        assert left.to_dict()["histograms"] == whole.to_dict()["histograms"]
+
+
+class TestBucketMath:
+    def test_bucket_exponent_matches_log2(self):
+        from repro.obs.metrics import _bucket_of
+
+        for v in (0.7, 1.0, 1.99, 2.0, 1023.0, 1024.0):
+            assert _bucket_of(v) == math.floor(math.log2(v))

@@ -1,0 +1,131 @@
+"""Unit tests for structured run reports (repro.obs.report)."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import generate_blobs
+from repro.geometry.box import Box
+from repro.join.objects import make_objects
+from repro.join.stats import JoinRunStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    REPORT_FORMAT_VERSION,
+    RunReport,
+    append_jsonl,
+    read_jsonl,
+    sample_explanations,
+    write_metrics_files,
+)
+from repro.raster.grid import RasterGrid, pad_dataspace
+from repro.topology.de9im import TopologicalRelation as T
+
+
+class TestRunReport:
+    def test_round_trip(self):
+        report = RunReport(
+            kind="join_run",
+            method="P+C",
+            stats={"pairs": 10},
+            spans=[{"name": "run", "seconds": 0.1}],
+            metrics={"counters": [], "histograms": []},
+            explain_samples=[{"r_index": 0, "s_index": 1}],
+            meta={"workers": 2},
+        )
+        d = report.to_dict()
+        assert d["format_version"] == REPORT_FORMAT_VERSION
+        rebuilt = RunReport.from_dict(d)
+        assert rebuilt.to_dict() == d
+
+    def test_empty_sections_are_omitted(self):
+        d = RunReport(kind="experiment", method="fig7a").to_dict()
+        assert "spans" not in d
+        assert "metrics" not in d
+        assert "explain_samples" not in d
+
+
+class TestJsonl:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_jsonl(path, {"a": 1})
+        append_jsonl(path, {"b": 2})
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_rejects_non_finite(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with pytest.raises(ValueError):
+            append_jsonl(path, {"throughput": float("inf")})
+        with pytest.raises(ValueError):
+            append_jsonl(path, {"x": float("nan")})
+
+    def test_stats_to_dict_is_always_appendable(self, tmp_path):
+        # Regression for the Infinity-poisons-JSON bug: a zero-time run
+        # must serialize through the strict JSONL writer.
+        stats = JoinRunStats(method="P+C")
+        stats.pairs = 5
+        assert math.isinf(stats.throughput)
+        append_jsonl(tmp_path / "runs.jsonl", stats.to_dict())
+        (record,) = read_jsonl(tmp_path / "runs.jsonl")
+        assert "throughput" not in record
+
+
+class TestWriteMetricsFiles:
+    def test_writes_json_and_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("repro_verdicts_total", method="P+C")
+        reg.observe("repro_refine_latency_seconds", 0.002)
+        json_path, prom_path = write_metrics_files(tmp_path / "metrics.json", reg)
+        data = json.loads(json_path.read_text())
+        assert data["counters"][0]["name"] == "repro_verdicts_total"
+        assert prom_path.name == "metrics.json.prom"
+        assert "# TYPE repro_verdicts_total counter" in prom_path.read_text()
+
+
+class TestSampleExplanations:
+    def _objects(self):
+        rng = np.random.default_rng(5)
+        polygons = generate_blobs(rng, 12, Box(0, 0, 100, 100), (5, 25), (8, 30))
+        grid = RasterGrid(
+            pad_dataspace(Box.union_all([p.bbox for p in polygons])), order=8
+        )
+        return make_objects(polygons, grid)
+
+    def test_samples_first_n_pairs(self):
+        objects = self._objects()
+        pairs = [(i, j) for i in range(4) for j in range(4) if i != j]
+        samples = sample_explanations(objects, objects, pairs, limit=3)
+        assert len(samples) == 3
+        assert [(s["r_index"], s["s_index"]) for s in samples] == pairs[:3]
+        for sample in samples:
+            assert sample["mbr_case"]
+            assert isinstance(sample["checks"], list)
+            assert "rendered" in sample
+            json.dumps(sample, allow_nan=False)  # JSON-safe
+
+    def test_limit_zero_and_negative(self):
+        objects = self._objects()
+        assert sample_explanations(objects, objects, [(0, 1)], limit=0) == []
+        assert sample_explanations(objects, objects, [(0, 1)], limit=-2) == []
+
+
+class TestStatsRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        stats = JoinRunStats(method="APRIL")
+        stats.pairs = 42
+        stats.resolved_mbr = 5
+        stats.resolved_if = 30
+        stats.refined = 7
+        stats.relation_counts[T.INSIDE] = 12
+        stats.relation_counts[T.DISJOINT] = 30
+        stats.filter_seconds = 0.25
+        stats.refine_seconds = 0.75
+        stats.r_objects_accessed = 3
+        stats.s_objects_accessed = 4
+        stats.r_objects_total = 10
+        stats.s_objects_total = 20
+        rebuilt = JoinRunStats.from_dict(stats.to_dict())
+        assert rebuilt.to_dict() == stats.to_dict()
+        assert rebuilt.relation_counts == stats.relation_counts
+        assert rebuilt.throughput == pytest.approx(stats.throughput)

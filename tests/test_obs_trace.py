@@ -1,0 +1,142 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    add_span,
+    attach_spans,
+    export_spans,
+    get_spans,
+    reset_tracing,
+    set_tracing,
+    span_totals,
+    trace,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    set_tracing(False)
+    reset_tracing()
+    yield
+    set_tracing(False)
+    reset_tracing()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_trace_collects_nothing_when_disabled(self):
+        with trace("outer") as span:
+            assert span is None
+            with trace("inner"):
+                pass
+        add_span("aggregate", 1.0)
+        assert get_spans() == []
+
+    def test_disabled_context_manager_is_shared(self):
+        # The no-op path must not allocate per call.
+        assert trace("a") is trace("b", x=1)
+
+
+class TestSpanCollection:
+    def test_nesting(self):
+        set_tracing(True)
+        with trace("outer", kind="run"):
+            with trace("inner_a"):
+                pass
+            with trace("inner_b"):
+                pass
+        roots = get_spans()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner_a", "inner_b"]
+        assert roots[0].attrs == {"kind": "run"}
+        assert roots[0].seconds >= max(c.seconds for c in roots[0].children)
+
+    def test_add_span_attaches_under_open_span(self):
+        set_tracing(True)
+        with trace("outer"):
+            add_span("agg", 1.25, pairs=7)
+        (outer,) = get_spans()
+        (agg,) = outer.children
+        assert agg.seconds == 1.25
+        assert agg.attrs == {"pairs": 7}
+
+    def test_sibling_roots(self):
+        set_tracing(True)
+        with trace("first"):
+            pass
+        with trace("second"):
+            pass
+        assert [s.name for s in get_spans()] == ["first", "second"]
+
+    def test_exception_still_closes_span(self):
+        set_tracing(True)
+        with pytest.raises(RuntimeError):
+            with trace("outer"):
+                raise RuntimeError("boom")
+        (outer,) = get_spans()
+        assert outer.seconds >= 0.0
+        # The stack is clean: the next span is a root, not a child.
+        with trace("next"):
+            pass
+        assert [s.name for s in get_spans()] == ["outer", "next"]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        set_tracing(True)
+        with trace("outer", method="P+C"):
+            with trace("inner"):
+                add_span("agg", 0.5)
+        exported = export_spans()
+        rebuilt = [Span.from_dict(d) for d in exported]
+        assert [s.to_dict() for s in rebuilt] == exported
+
+    def test_attach_spans_grafts_in_order(self):
+        set_tracing(True)
+        worker_payloads = [
+            [{"name": "partition", "seconds": 0.1, "attrs": {"part": 0}}],
+            [{"name": "partition", "seconds": 0.2, "attrs": {"part": 1}}],
+        ]
+        with trace("parallel_find"):
+            for payload in worker_payloads:
+                attach_spans(payload)
+        (root,) = get_spans()
+        assert [c.attrs["part"] for c in root.children] == [0, 1]
+
+    def test_attach_noop_when_disabled(self):
+        attach_spans([{"name": "partition", "seconds": 0.1}])
+        assert get_spans() == []
+
+
+class TestTotals:
+    def test_span_totals_sums_across_trees(self):
+        set_tracing(True)
+        with trace("run"):
+            add_span("filter", 0.5)
+            add_span("refine", 0.25)
+        with trace("run"):
+            add_span("filter", 0.5)
+        totals = span_totals()
+        assert totals["filter"] == 1.0
+        assert totals["refine"] == 0.25
+
+    def test_span_total_by_name(self):
+        root = Span(
+            name="run",
+            children=[
+                Span(name="filter", seconds=1.0),
+                Span(name="tile", children=[Span(name="filter", seconds=2.0)]),
+            ],
+        )
+        assert root.total("filter") == 3.0
+
+    def test_render_mentions_names_and_attrs(self):
+        span = Span(name="tile", attrs={"tx": 1}, seconds=0.001,
+                    children=[Span(name="filter", seconds=0.0005)])
+        text = span.render()
+        assert "tile" in text and "tx=1" in text and "filter" in text
