@@ -1,0 +1,92 @@
+"""Warm-vs-cold join benchmark for the persistent dataset store.
+
+A cold ``Engine.join`` over freshly built index directories must
+rasterise every polygon (and persists the APRIL payloads it builds);
+a warm join in a fresh engine — the new-process analogue — loads the
+payloads back and skips rasterisation entirely. This benchmark times
+both end-to-end, asserts the results are identical row for row, and
+appends an entry to the ``BENCH_store.json`` trajectory at the repo
+root so the warm-path speedup is tracked across commits.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_scenario
+from repro.datasets.io import save_wkt_file
+from repro.store import Engine, build_dataset
+
+SCENARIO = "OLE-OPE"
+SCALE = 0.4
+GRID_ORDER = 13
+WARM_ROUNDS = 2
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
+
+
+def record(entry: dict) -> None:
+    trajectory = []
+    if BENCH_PATH.exists():
+        trajectory = json.loads(BENCH_PATH.read_text())
+    trajectory.append(entry)
+    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def _rows(run):
+    return [(l.r_index, l.s_index, l.relation, l.filtered) for l in run.results]
+
+
+@pytest.fixture(scope="module")
+def indexes(tmp_path_factory):
+    data = load_scenario(SCENARIO, scale=SCALE, grid_order=GRID_ORDER)
+    base = tmp_path_factory.mktemp("store_bench")
+    r_file, s_file = base / "r.wkt", base / "s.wkt"
+    save_wkt_file(r_file, [o.polygon for o in data.r_objects])
+    save_wkt_file(s_file, [o.polygon for o in data.s_objects])
+    r_idx = build_dataset(r_file, base / "r_idx", grid_order=None)
+    s_idx = build_dataset(s_file, base / "s_idx", grid_order=None)
+    return base / "r_idx", base / "s_idx", len(r_idx), len(s_idx)
+
+
+def test_store_warm_vs_cold(indexes):
+    r_idx, s_idx, r_count, s_count = indexes
+
+    # Cold: no payloads on disk yet — the join rasterises everything
+    # and persists the union-grid payloads into both index dirs.
+    t0 = time.perf_counter()
+    cold = Engine().join(r_idx, s_idx, grid_order=GRID_ORDER)
+    cold_seconds = time.perf_counter() - t0
+
+    # Warm: a fresh engine per round, so nothing survives in memory;
+    # every approximation must come back from the persisted payloads.
+    warm_seconds = float("inf")
+    for _ in range(WARM_ROUNDS):
+        t0 = time.perf_counter()
+        warm = Engine().join(r_idx, s_idx, grid_order=GRID_ORDER)
+        warm_seconds = min(warm_seconds, time.perf_counter() - t0)
+
+    assert _rows(warm) == _rows(cold)
+
+    speedup = cold_seconds / warm_seconds
+    record(
+        {
+            "kind": "store_warm_vs_cold",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenario": SCENARIO,
+            "scale": SCALE,
+            "grid_order": GRID_ORDER,
+            "r_objects": r_count,
+            "s_objects": s_count,
+            "links": len(cold),
+            "cpu_count": os.cpu_count(),
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "speedup": round(speedup, 3),
+            "results_identical": True,
+        }
+    )
+    assert speedup >= 3.0

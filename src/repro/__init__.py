@@ -24,35 +24,67 @@ Package map:
 - :mod:`repro.filters`     — MBR filter, Fig. 5 intermediate filters,
   Fig. 6 relate_p filters (the paper's contribution)
 - :mod:`repro.join`        — MBR joins, the ST2/OP2/APRIL/P+C pipelines
+- :mod:`repro.store`       — persistent dataset indexes + the warm-cache
+  join :class:`Engine` (the recommended front door for repeated joins)
 - :mod:`repro.datasets`    — synthetic TIGER/OSM analogues (Tables 2-3)
 - :mod:`repro.experiments` — one module per table/figure of the paper
+
+Canonical join entry points, all returning one :class:`JoinRun`
+envelope regardless of execution mode::
+
+    from repro import Engine
+
+    engine = Engine()
+    run = engine.join(r_polygons, s_polygons, mode="auto", workers=4)
+    run = engine.join("r_index/", "s_index/")      # warm: no rasterising
 """
 
+from repro.core import TopologyJoin
 from repro.geometry import Box, Polygon, Ring, dumps_wkt, loads_wkt
+from repro.join.diskjoin import DiskPartitionedJoin
 from repro.join.objects import SpatialObject, make_objects
 from repro.join.pipeline import PIPELINES, run_find_relation, run_relate
+from repro.join.run import JoinResult, JoinRun
 from repro.raster import AprilApproximation, IntervalList, RasterGrid, build_april
+from repro.raster.storage import StoreError
+from repro.store import (
+    Engine,
+    SpatialDataset,
+    build_dataset,
+    default_engine,
+    open_dataset,
+)
 from repro.topology import DE9IM, TopologicalRelation, most_specific_relation, relate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AprilApproximation",
     "Box",
     "DE9IM",
+    "DiskPartitionedJoin",
+    "Engine",
     "IntervalList",
+    "JoinResult",
+    "JoinRun",
     "PIPELINES",
     "Polygon",
     "RasterGrid",
     "Ring",
+    "SpatialDataset",
     "SpatialObject",
+    "StoreError",
     "TopologicalRelation",
+    "TopologyJoin",
     "__version__",
     "build_april",
+    "build_dataset",
+    "default_engine",
     "dumps_wkt",
     "loads_wkt",
     "make_objects",
     "most_specific_relation",
+    "open_dataset",
     "relate",
     "run_find_relation",
     "run_relate",

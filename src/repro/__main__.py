@@ -1,14 +1,24 @@
 """Command-line interface for the library.
 
-Operates on WKT (one geometry per line) or GeoJSON files::
+Operates on WKT (one geometry per line) or GeoJSON files — or on
+persistent dataset indexes built with ``build-index``::
 
     python -m repro relate a.wkt b.wkt                # one pair per line pair
     python -m repro join r.wkt s.wkt --method P+C     # full topology join
     python -m repro join r.wkt s.wkt --predicate inside
+    python -m repro join r.wkt s.wkt --mode disk      # out-of-core PBSM
+    python -m repro build-index r.wkt --index r_idx   # persist the dataset
+    python -m repro join r_idx s_idx --index          # warm: no rasterising
     python -m repro explain r.wkt s.wkt --index 3 7   # why did P+C decide that?
     python -m repro select data.geojson --query "POLYGON((...))" --predicate intersects
     python -m repro approximate data.wkt --grid-order 12 --out approx.npz
     python -m repro stats data.wkt
+
+``join`` and ``explain`` auto-detect index directories (any directory
+holding a ``manifest.json``); ``join --index`` makes that a requirement.
+The first (cold) join between two indexes persists the shared-grid
+APRIL payloads into both, so every later join over the pair loads them
+and skips rasterisation entirely.
 
 Observability (``join`` subcommand)::
 
@@ -26,11 +36,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core import TopologyJoin, TopologySelection
+from repro.core import TopologySelection
 from repro.datasets.geojson import load_geojson
 from repro.datasets.io import load_wkt_file
 from repro.geometry import Polygon, loads_wkt_geometry
 from repro.geometry.multipolygon import MultiPolygon
+from repro.join.run import JoinRun
+from repro.store import MODES, StoreError, default_engine
 from repro.topology import TopologicalRelation, most_specific_relation, relate
 
 
@@ -92,20 +104,26 @@ def _setup_obs(args: argparse.Namespace) -> None:
         obs.set_progress(True)
 
 
-def _emit_obs(args: argparse.Namespace, join: TopologyJoin, stats, extra_meta: dict) -> None:
+def _emit_obs(
+    args: argparse.Namespace,
+    run: JoinRun,
+    r_objects,
+    s_objects,
+    extra_meta: dict,
+) -> None:
     """Write trace/metrics/run-log artifacts after a join run."""
     from repro import obs
 
+    stats = run.stats
     explain_samples = []
-    if args.explain_sample:
+    if args.explain_sample and r_objects is not None:
         refined = [
-            (i, j)
-            for i, j, _, filtered in getattr(join.last_run, "results", [])
-            if not filtered
+            (link.r_index, link.s_index)
+            for link in run.results
+            if link.filtered is False
         ]
-        join._ensure_april()  # explain narrates the APRIL-based filters
         explain_samples = obs.sample_explanations(
-            join.r_objects, join.s_objects, refined, args.explain_sample
+            r_objects, s_objects, refined, args.explain_sample
         )
         for sample in explain_samples:
             print(
@@ -145,8 +163,9 @@ def _emit_obs(args: argparse.Namespace, join: TopologyJoin, stats, extra_meta: d
                 "s_file": args.s,
                 "grid_order": args.grid_order,
                 "workers": args.workers,
-                "wall_seconds": getattr(join.last_run, "wall_seconds", None),
-                "partitions": getattr(join.last_run, "partitions", None),
+                "mode": run.mode,
+                "wall_seconds": run.wall_seconds,
+                "partitions": run.partitions,
                 **extra_meta,
             },
         )
@@ -154,58 +173,100 @@ def _emit_obs(args: argparse.Namespace, join: TopologyJoin, stats, extra_meta: d
         print(f"# appended run report to {args.run_log}", file=sys.stderr)
 
 
+def _resolve_dataset(engine, path: str, require_index: bool):
+    """Resolve a CLI input into a dataset: index directory or data file."""
+    p = Path(path)
+    if p.is_dir() and not (p / "manifest.json").exists():
+        raise SystemExit(f"{path}: directory is not a dataset index (no manifest.json)")
+    if require_index and not p.is_dir():
+        raise SystemExit(f"{path}: --index requires a dataset index directory "
+                         f"(build one with: python -m repro build-index {path} --index DIR)")
+    try:
+        return engine.dataset(p)
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"{path}: {exc}") from exc
+
+
 def cmd_join(args: argparse.Namespace) -> int:
-    r = _load_geometries(args.r)
-    s = _load_geometries(args.s)
     _setup_obs(args)
-    join = TopologyJoin(
-        r, s, grid_order=args.grid_order, method=args.method, workers=args.workers
-    )
-    if args.predicate:
-        predicate = _predicate(args.predicate)
-        matches, stats = join.run_predicate(predicate)
+    engine = default_engine()
+    rd = _resolve_dataset(engine, args.r, args.index)
+    sd = _resolve_dataset(engine, args.s, args.index)
+    predicate = _predicate(args.predicate) if args.predicate else None
+    try:
+        run = engine.join(
+            rd,
+            sd,
+            method=args.method,
+            grid_order=args.grid_order,
+            mode=args.mode,
+            predicate=predicate,
+            workers=args.workers,
+            include_disjoint=args.include_disjoint,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if predicate is not None:
+        matches = run.matches
         for i, j in matches:
             print(f"{i}\t{predicate.value}\t{j}")
         print(f"# {len(matches)} pairs satisfy {predicate.value}", file=sys.stderr)
         args.explain_sample = 0  # explain narrates find-relation runs only
-        _emit_obs(args, join, stats, {"predicate": predicate.value, "matches": len(matches)})
+        _emit_obs(args, run, None, None,
+                  {"predicate": predicate.value, "matches": len(matches)})
     else:
-        links, stats = join.run(include_disjoint=args.include_disjoint)
-        for link in links:
+        for link in run.results:
             print(f"{link.r_index}\t{link.relation.value}\t{link.s_index}")
+        stats = run.stats
         print(
-            f"# {len(links)} links from {stats.pairs} candidates; "
+            f"# {len(run.results)} links from {stats.pairs} candidates; "
             f"{stats.undetermined_pct:.1f}% refined, {stats.throughput:,.0f} pairs/s",
             file=sys.stderr,
         )
-        _emit_obs(args, join, stats, {"links": len(links)})
+        r_objects = s_objects = None
+        if args.explain_sample:
+            # Explain narrates the APRIL-based filters: fetch the cached
+            # object sets with approximations attached.
+            grid = engine.join_grid(rd, sd, args.grid_order)
+            r_objects = engine.objects(rd, grid)
+            s_objects = engine.objects(sd, grid)
+        _emit_obs(args, run, r_objects, s_objects, {"links": len(run.results)})
+    return 0
+
+
+def cmd_build_index(args: argparse.Namespace) -> int:
+    from repro.store import build_dataset
+
+    try:
+        dataset = build_dataset(
+            args.data,
+            args.index,
+            grid_order=None if args.no_approximate else args.grid_order,
+            workers=args.workers,
+        )
+    except (StoreError, ValueError) as exc:
+        raise SystemExit(f"{args.data}: {exc}") from exc
+    print(f"indexed {len(dataset)} geometries into {args.index}")
+    if args.no_approximate:
+        print("# approximations deferred: the first join against each "
+              "partner dataset builds and persists them", file=sys.stderr)
+    else:
+        print(f"# APRIL payload precomputed for the dataset's own grid "
+              f"(order {args.grid_order})", file=sys.stderr)
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    from repro.geometry.box import Box
-    from repro.join.explain import explain_pair
-    from repro.join.objects import SpatialObject
-    from repro.raster.grid import RasterGrid, pad_dataspace
-
-    r_list = _load_geometries(args.r)
-    s_list = _load_geometries(args.s)
+    engine = default_engine()
+    rd = _resolve_dataset(engine, args.r, False)
+    sd = _resolve_dataset(engine, args.s, False)
     i, j = args.index
-    if not (0 <= i < len(r_list)):
-        raise SystemExit(f"--index r out of range: {i} (file has {len(r_list)} geometries)")
-    if not (0 <= j < len(s_list)):
-        raise SystemExit(f"--index s out of range: {j} (file has {len(s_list)} geometries)")
-
-    # Same grid a join over these two files would use, so the narrated
-    # interval checks match what the P+C pipeline would actually see.
-    extent = pad_dataspace(
-        Box.union_all([g.bbox for g in r_list] + [g.bbox for g in s_list])
-    )
-    grid = RasterGrid(extent, order=args.grid_order)
-    r_obj = SpatialObject.from_polygon(i, r_list[i], grid)
-    s_obj = SpatialObject.from_polygon(j, s_list[j], grid)
+    if not (0 <= i < len(rd)):
+        raise SystemExit(f"--index r out of range: {i} (input has {len(rd)} geometries)")
+    if not (0 <= j < len(sd)):
+        raise SystemExit(f"--index s out of range: {j} (input has {len(sd)} geometries)")
     print(f"pair (r={i}, s={j})")
-    print(explain_pair(r_obj, s_obj).render())
+    print(engine.explain(rd, sd, i, j, grid_order=args.grid_order).render())
     return 0
 
 
@@ -270,13 +331,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("b")
     p.set_defaults(func=cmd_relate)
 
-    p = sub.add_parser("join", help="topology join between two files")
+    p = sub.add_parser(
+        "join", help="topology join between two files or dataset indexes"
+    )
     p.add_argument("r")
     p.add_argument("s")
     p.add_argument("--method", default="P+C", choices=["ST2", "OP2", "APRIL", "P+C"])
     p.add_argument("--predicate", default=None, help="relate_p join instead of find-relation")
     p.add_argument("--grid-order", type=int, default=11)
     p.add_argument("--include-disjoint", action="store_true")
+    p.add_argument(
+        "--mode", default="auto", choices=list(MODES),
+        help="execution mode: serial, batch (vectorised P+C), parallel, "
+             "disk (out-of-core PBSM), or auto (serial/parallel by --workers)",
+    )
+    p.add_argument(
+        "--index", action="store_true",
+        help="require both inputs to be dataset index directories built "
+             "with build-index (directories are auto-detected regardless)",
+    )
     p.add_argument(
         "--workers", type=_worker_count, default=1,
         help="worker processes for preprocessing + verification (default 1)",
@@ -305,6 +378,25 @@ def main(argv: list[str] | None = None) -> int:
         help="per-worker heartbeat lines on stderr during the run",
     )
     p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser(
+        "build-index",
+        help="build a persistent dataset index for fast repeated joins",
+    )
+    p.add_argument("data", help="source .wkt or .geojson file")
+    p.add_argument("--index", required=True, metavar="DIR",
+                   help="index directory to create (manifest + geometries + payloads)")
+    p.add_argument("--grid-order", type=int, default=11,
+                   help="precompute the APRIL payload for the dataset's own "
+                        "grid at this order (default 11)")
+    p.add_argument("--no-approximate", action="store_true",
+                   help="skip payload precomputation; the first join builds "
+                        "and persists payloads lazily")
+    p.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for rasterisation (default 1)",
+    )
+    p.set_defaults(func=cmd_build_index)
 
     p = sub.add_parser(
         "explain", help="trace one pair's journey through the P+C filters"

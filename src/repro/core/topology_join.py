@@ -1,4 +1,4 @@
-"""End-to-end spatial topology joins.
+"""End-to-end spatial topology joins (compatibility facade).
 
 Everything the paper's evaluation pipeline does, behind one class::
 
@@ -9,10 +9,14 @@ Everything the paper's evaluation pipeline does, behind one class::
     inside = list(join.pairs_satisfying(T.INSIDE))   # relate_p join
     join.stats("P+C")                                # JoinRunStats
 
-Preprocessing (APRIL construction) happens once, lazily, on the first
-call that needs it — methods that never read APRIL data (``ST2``,
-``OP2``) skip rasterisation entirely; ``save_preprocessing`` / a
-``preprocessed`` constructor argument persist it across runs.
+Since PR 4 this class is a thin layer over the store engine
+(:class:`repro.store.Engine`), which owns dataset resolution, grid
+construction, APRIL caching and execution-mode dispatch. ``TopologyJoin``
+keeps the historical per-instance semantics — lazy preprocessing, the
+``preprocessed=`` ``.npz`` escape hatch, streaming ``find_relations`` —
+on top of a private engine, so existing callers see identical behaviour
+while new code talks to :class:`~repro.store.Engine` directly (and gains
+the persistent warm cache).
 
 With ``workers > 1`` both preprocessing and the per-pair verification
 stage fan out over a process pool (:mod:`repro.parallel`); results are
@@ -21,43 +25,21 @@ identical to a serial run, in the same ``(i, j)`` order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.geometry.box import Box
 from repro.geometry.polygon import Polygon
-from repro.join.mbr_join import plane_sweep_mbr_join
 from repro.join.objects import SpatialObject
-from repro.join.pipeline import (
-    PIPELINES,
-    Stage,
-    relate_predicate,
-    run_find_relation,
-)
+from repro.join.pipeline import PIPELINES
+from repro.join.run import JoinResult, JoinRun
 from repro.join.stats import JoinRunStats
 from repro.obs.trace import trace
-from repro.parallel import (
-    build_april_parallel,
-    run_find_relation_parallel,
-    run_relate_parallel,
-)
-from repro.raster.april import AprilApproximation, build_april
-from repro.raster.grid import RasterGrid, pad_dataspace
-from repro.raster.storage import load_approximations, save_approximations
+from repro.raster.grid import RasterGrid
+from repro.raster.storage import StoreError, load_approximations, save_approximations
+from repro.store.dataset import SpatialDataset
+from repro.store.engine import Engine
 from repro.topology.de9im import TopologicalRelation
-
-
-@dataclass(frozen=True, slots=True)
-class JoinResult:
-    """One discovered link: indices into the two inputs + provenance."""
-
-    r_index: int
-    s_index: int
-    relation: TopologicalRelation
-    #: True when the relation was proven without DE-9IM refinement.
-    filtered: bool
 
 
 class TopologyJoin:
@@ -78,6 +60,10 @@ class TopologyJoin:
         Process-pool size for preprocessing and verification. ``1``
         (default) runs everything in-process; ``None`` picks a small
         pool automatically. Results are identical for every value.
+    engine:
+        The :class:`~repro.store.Engine` to execute on. Defaults to a
+        private engine, preserving the historical per-instance caching;
+        pass a shared engine to reuse its dataset/approximation caches.
     """
 
     def __init__(
@@ -88,6 +74,7 @@ class TopologyJoin:
         method: str = "P+C",
         preprocessed: tuple[str | Path, str | Path] | None = None,
         workers: int | None = 1,
+        engine: Engine | None = None,
     ) -> None:
         if method not in PIPELINES:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
@@ -98,86 +85,73 @@ class TopologyJoin:
         self.method = method
         self.grid_order = grid_order
         self.workers = workers
-        self._r_polygons = list(r_polygons)
-        self._s_polygons = list(s_polygons)
+        self._engine = engine if engine is not None else Engine()
+        self._rd = SpatialDataset.from_polygons(list(r_polygons), name="r")
+        self._sd = SpatialDataset.from_polygons(list(s_polygons), name="s")
         self._preprocessed = preprocessed
-        #: The most recent :meth:`run`'s ParallelFindRun (wall time,
-        #: worker/partition counts), or None before the first run.
-        self.last_run = None
+        #: The most recent :meth:`run` / :meth:`run_predicate`'s
+        #: :class:`~repro.join.run.JoinRun` (wall time, worker and
+        #: partition counts), or None before the first run.
+        self.last_run: JoinRun | None = None
 
     # ------------------------------------------------------------------
     # lazy preprocessing
     # ------------------------------------------------------------------
     @cached_property
     def grid(self) -> RasterGrid:
-        dataspace = pad_dataspace(
-            Box.union_all(
-                [p.bbox for p in self._r_polygons]
-                + [p.bbox for p in self._s_polygons]
-            )
-        )
-        return RasterGrid(dataspace, order=self.grid_order)
+        return self._engine.join_grid(self._rd, self._sd, self.grid_order)
 
     @cached_property
     def r_objects(self) -> list[SpatialObject]:
-        return self._make_objects(self._r_polygons, side=0)
+        return self._make_objects(self._rd, side=0)
 
     @cached_property
     def s_objects(self) -> list[SpatialObject]:
-        return self._make_objects(self._s_polygons, side=1)
+        return self._make_objects(self._sd, side=1)
 
-    def _build_aprils(self, polygons: Sequence[Polygon]) -> list[AprilApproximation]:
-        with trace("preprocess", count=len(polygons), workers=self.workers or 0):
-            if self.workers is None or self.workers > 1:
-                return build_april_parallel(polygons, self.grid, workers=self.workers)
-            return [build_april(p, self.grid) for p in polygons]
-
-    def _make_objects(self, polygons: list[Polygon], side: int) -> list[SpatialObject]:
-        approximations: list[AprilApproximation] | None = None
+    def _make_objects(self, dataset: SpatialDataset, side: int) -> list[SpatialObject]:
         if self._preprocessed is not None:
-            approximations = load_approximations(self._preprocessed[side])
-            if len(approximations) != len(polygons):
-                raise ValueError(
-                    f"preprocessed file holds {len(approximations)} approximations "
-                    f"for {len(polygons)} polygons"
-                )
-            if not approximations[0].grid.compatible_with(self.grid):
-                raise ValueError(
-                    "preprocessed approximations were built on a different grid"
-                )
-        elif PIPELINES[self.method].uses_april:
-            approximations = self._build_aprils(polygons)
-        return [
-            SpatialObject(
-                oid=oid,
-                polygon=polygon,
-                box=polygon.bbox,
-                april=approximations[oid] if approximations is not None else None,
+            approximations = load_approximations(
+                self._preprocessed[side], expected_grid=self.grid
             )
-            for oid, polygon in enumerate(polygons)
-        ]
+            if len(approximations) != len(dataset):
+                raise StoreError(
+                    f"preprocessed file holds {len(approximations)} approximations "
+                    f"for {len(dataset)} polygons"
+                )
+            return [
+                SpatialObject(
+                    oid=oid, polygon=polygon, box=polygon.bbox, april=approx
+                )
+                for oid, (polygon, approx) in enumerate(
+                    zip(dataset.geometries, approximations)
+                )
+            ]
+        return self._engine.objects(
+            dataset,
+            self.grid,
+            with_april=PIPELINES[self.method].uses_april,
+            workers=self.workers,
+        )
 
     def _ensure_april(self) -> None:
         """Backfill APRIL approximations an APRIL-free method skipped."""
-        for objects in (self.r_objects, self.s_objects):
-            missing = [o for o in objects if o.april is None]
-            if not missing:
-                continue
-            built = self._build_aprils([o.polygon for o in missing])
-            for obj, approx in zip(missing, built):
-                obj.april = approx
+        for dataset, objects in ((self._rd, self.r_objects), (self._sd, self.s_objects)):
+            if any(o.april is None for o in objects):
+                aprils = dataset.approximations(self.grid, workers=self.workers)
+                for obj, approx in zip(objects, aprils):
+                    if obj.april is None:
+                        obj.april = approx
 
     @cached_property
     def candidate_pairs(self) -> list[tuple[int, int]]:
         """The filter step: pairs whose MBRs intersect."""
-        with trace("mbr_filter_step") as span:
-            pairs = plane_sweep_mbr_join(
-                [o.box for o in self.r_objects], [o.box for o in self.s_objects]
-            )
-            pairs.sort()
-            if span is not None:
-                span.attrs["pairs"] = len(pairs)
-        return pairs
+        # Touch the object lists first: loading a `preprocessed=` pair
+        # validates it (count + grid) on first access, and historically
+        # candidate_pairs was that first access.
+        self.r_objects
+        self.s_objects
+        return self._engine.pairs(self._rd, self._sd)
 
     def save_preprocessing(self, r_path: str | Path, s_path: str | Path) -> None:
         """Persist both inputs' APRIL approximations for future runs."""
@@ -192,117 +166,71 @@ class TopologyJoin:
     def _parallel(self) -> bool:
         return self.workers is None or self.workers > 1
 
-    def run(self, include_disjoint: bool = False) -> tuple[list[JoinResult], JoinRunStats]:
-        """One verification pass returning both links and statistics.
+    def _execute(
+        self,
+        method: str,
+        *,
+        predicate: TopologicalRelation | None = None,
+        include_disjoint: bool = True,
+    ) -> JoinRun:
+        if predicate is not None or PIPELINES[method].uses_april:
+            self._ensure_april()
+        return self._engine.execute(
+            method,
+            self.r_objects,
+            self.s_objects,
+            self.candidate_pairs,
+            mode="auto",
+            predicate=predicate,
+            workers=self.workers,
+            include_disjoint=include_disjoint,
+        )
+
+    def run(self, include_disjoint: bool = False) -> JoinRun:
+        """One verification pass returning links and statistics.
 
         Unlike calling :meth:`find_relations` then :meth:`stats` (two
-        passes over the pair stream), ``run`` verifies each pair once —
-        the shape the CLI and run reports want. The underlying
-        :class:`~repro.parallel.executor.ParallelFindRun` (wall time,
-        worker/partition counts) is kept on ``self.last_run``.
+        passes over the pair stream), ``run`` verifies each pair once.
+        Returns the unified :class:`~repro.join.run.JoinRun` envelope
+        (which still unpacks as ``links, stats``); the run is also kept
+        on ``self.last_run``.
         """
         with trace("topology_join", method=self.method):
-            parallel_run = run_find_relation_parallel(
-                self.method,
-                self.r_objects,
-                self.s_objects,
-                self.candidate_pairs,
-                workers=self.workers,
-            )
-        self.last_run = parallel_run
-        links = [
-            JoinResult(r_index=i, s_index=j, relation=relation, filtered=filtered)
-            for i, j, relation, filtered in parallel_run.results
-            if include_disjoint or relation is not TopologicalRelation.DISJOINT
-        ]
-        return links, parallel_run.stats
+            run = self._execute(self.method, include_disjoint=include_disjoint)
+        self.last_run = run
+        return run
 
-    def run_predicate(
-        self, predicate: TopologicalRelation
-    ) -> tuple[list[tuple[int, int]], JoinRunStats]:
-        """One relate_p pass returning both matches and statistics.
+    def run_predicate(self, predicate: TopologicalRelation) -> JoinRun:
+        """One relate_p pass returning matches and statistics.
 
-        The relate analogue of :meth:`run`; the underlying
-        ParallelRelateRun lands on ``self.last_run``.
+        The relate analogue of :meth:`run`: returns a ``JoinRun`` of
+        kind ``"relate"`` (which unpacks as ``matches, stats`` with
+        ``(i, j)`` tuples), kept on ``self.last_run``.
         """
-        self._ensure_april()  # the relate_p filters always read APRIL
         with trace("topology_join", predicate=predicate.value):
-            relate_run = run_relate_parallel(
-                predicate,
-                self.r_objects,
-                self.s_objects,
-                self.candidate_pairs,
-                workers=self.workers,
-            )
-        self.last_run = relate_run
-        return list(relate_run.matches), relate_run.stats
+            run = self._execute(self.method, predicate=predicate)
+        self.last_run = run
+        return run
 
     def find_relations(self, include_disjoint: bool = False) -> Iterator[JoinResult]:
         """Stream the most specific relation of every candidate pair,
         in ``(i, j)`` order regardless of worker count."""
-        if self._parallel:
-            run = run_find_relation_parallel(
-                self.method,
-                self.r_objects,
-                self.s_objects,
-                self.candidate_pairs,
-                workers=self.workers,
-            )
-            for i, j, relation, filtered in run.results:
-                if relation is TopologicalRelation.DISJOINT and not include_disjoint:
-                    continue
-                yield JoinResult(
-                    r_index=i, s_index=j, relation=relation, filtered=filtered
-                )
-            return
-        pipeline = PIPELINES[self.method]
-        for i, j in self.candidate_pairs:
-            outcome = pipeline.find_relation(self.r_objects[i], self.s_objects[j])
-            if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
-                continue
-            yield JoinResult(
-                r_index=i,
-                s_index=j,
-                relation=outcome.relation,
-                filtered=outcome.stage is not Stage.REFINEMENT,
-            )
+        yield from self._execute(
+            self.method, include_disjoint=include_disjoint
+        ).results
 
-    def pairs_satisfying(self, predicate: TopologicalRelation) -> Iterator[tuple[int, int]]:
+    def pairs_satisfying(
+        self, predicate: TopologicalRelation
+    ) -> Iterator[tuple[int, int]]:
         """relate_p join: candidate pairs for which ``predicate`` holds."""
-        self._ensure_april()  # the relate_p filters always read APRIL
-        if self._parallel:
-            run = run_relate_parallel(
-                predicate,
-                self.r_objects,
-                self.s_objects,
-                self.candidate_pairs,
-                workers=self.workers,
-            )
-            yield from run.matches
-            return
-        for i, j in self.candidate_pairs:
-            holds, _ = relate_predicate(predicate, self.r_objects[i], self.s_objects[j])
-            if holds:
-                yield (i, j)
+        yield from self._execute(self.method, predicate=predicate).matches
 
     def stats(self, method: str | None = None) -> JoinRunStats:
         """Run the full join with stage timing and return its statistics."""
         method = method or self.method
         if method not in PIPELINES:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
-        if PIPELINES[method].uses_april:
-            self._ensure_april()
-        if self._parallel:
-            return run_find_relation_parallel(
-                method,
-                self.r_objects,
-                self.s_objects,
-                self.candidate_pairs,
-                workers=self.workers,
-            ).stats
-        return run_find_relation(
-            method, self.r_objects, self.s_objects, self.candidate_pairs
-        )
+        return self._execute(method).stats
 
 
 __all__ = ["JoinResult", "TopologyJoin"]

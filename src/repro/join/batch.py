@@ -90,14 +90,21 @@ def classify_mbr_pairs_bulk(
     return codes
 
 
-def run_find_relation_batch(
+def run_find_relation_batch_outcomes(
     r_objects: Sequence[SpatialObject],
     s_objects: Sequence[SpatialObject],
     pairs: Sequence[tuple[int, int]],
-) -> JoinRunStats:
-    """Batch P+C runner: same verdicts as the scalar pipeline, less
-    per-pair overhead (timing is per *stage*, not per pair)."""
+) -> tuple[list[tuple[int, int, T, bool]], JoinRunStats]:
+    """Batch P+C runner returning per-pair outcomes *and* statistics.
+
+    Outcome rows are ``(r_index, s_index, relation, filtered)`` sorted
+    by ``(i, j)`` — the same shape the parallel executor merges to — so
+    the engine can wrap a batch run in the standard ``JoinRun``
+    envelope. Verdicts are identical to the scalar pipeline; timing is
+    per *stage*, not per pair.
+    """
     stats = JoinRunStats(method="P+C")
+    outcomes: list[tuple[int, int, T, bool]] = []
     stats.r_objects_total = len(r_objects)
     stats.s_objects_total = len(s_objects)
     reset_access_tracking(r_objects)
@@ -133,6 +140,7 @@ def run_find_relation_batch(
             ):
                 if verdict.definite is not None:
                     stats.record(verdict.definite, stage)
+                    outcomes.append((i, j, verdict.definite, True))
                     if registry is not None:
                         registry.inc(
                             "repro_verdicts_total",
@@ -154,6 +162,7 @@ def run_find_relation_batch(
             )
             relation = most_specific_relation(matrix, candidates)
             stats.record(relation, "refinement")
+            outcomes.append((i, j, relation, False))
             if registry is not None:
                 registry.inc(
                     "repro_verdicts_total",
@@ -167,7 +176,23 @@ def run_find_relation_batch(
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)
+    outcomes.sort(key=lambda t: (t[0], t[1]))
+    return outcomes, stats
+
+
+def run_find_relation_batch(
+    r_objects: Sequence[SpatialObject],
+    s_objects: Sequence[SpatialObject],
+    pairs: Sequence[tuple[int, int]],
+) -> JoinRunStats:
+    """Statistics-only wrapper around
+    :func:`run_find_relation_batch_outcomes` (the historical shape)."""
+    _, stats = run_find_relation_batch_outcomes(r_objects, s_objects, pairs)
     return stats
 
 
-__all__ = ["classify_mbr_pairs_bulk", "run_find_relation_batch"]
+__all__ = [
+    "classify_mbr_pairs_bulk",
+    "run_find_relation_batch",
+    "run_find_relation_batch_outcomes",
+]

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -28,6 +27,7 @@ from repro.geometry.wkt import dumps_wkt, loads_wkt_geometry
 from repro.join.mbr_join import plane_sweep_mbr_join
 from repro.join.objects import SpatialObject
 from repro.join.pipeline import PIPELINES, Stage
+from repro.join.run import JoinResult, JoinRun
 from repro.join.stats import JoinRunStats
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import trace
@@ -35,14 +35,9 @@ from repro.raster.april import build_april
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.topology.de9im import TopologicalRelation
 
-
-@dataclass(frozen=True, slots=True)
-class DiskJoinResult:
-    """One result pair with original dataset ids."""
-
-    r_id: int
-    s_id: int
-    relation: TopologicalRelation
+#: Disk-join rows are ordinary join results now (``r_id``/``s_id``
+#: remain available as aliases); the old name stays importable.
+DiskJoinResult = JoinResult
 
 
 class DiskPartitionedJoin:
@@ -136,22 +131,41 @@ class DiskPartitionedJoin:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, include_disjoint: bool = False) -> tuple[list[DiskJoinResult], JoinRunStats]:
-        """Join all tile pairs; returns deduplicated results and stats."""
+    def run(self, include_disjoint: bool = False) -> JoinRun:
+        """Join all tile pairs; returns the deduplicated links and
+        statistics in the same :class:`JoinRun` envelope every other
+        execution mode produces (``results, stats = run`` still works)."""
+        start = time.perf_counter()
         with trace(
             "disk_join", method=self.method, tiles_per_dim=self.tiles_per_dim
         ):
-            return self._run(include_disjoint)
+            results, stats, tiles_joined = self._run(include_disjoint)
+        return JoinRun(
+            results=results,
+            stats=stats,
+            method=self.method,
+            mode="disk",
+            wall_seconds=time.perf_counter() - start,
+            partitions=tiles_joined,
+            meta={
+                "workdir": str(self.workdir),
+                "tiles_per_dim": self.tiles_per_dim,
+                "grid_order": self.grid_order,
+            },
+        )
 
-    def _run(self, include_disjoint: bool) -> tuple[list[DiskJoinResult], JoinRunStats]:
+    def _run(
+        self, include_disjoint: bool
+    ) -> tuple[list[JoinResult], JoinRunStats, int]:
         extent = self._load_meta()
         grid = RasterGrid(pad_dataspace(extent), order=self.grid_order)
         tw = extent.width / self.tiles_per_dim
         th = extent.height / self.tiles_per_dim
 
         total_stats = JoinRunStats(method=self.method)
-        results: list[DiskJoinResult] = []
+        results: list[JoinResult] = []
         pipeline = PIPELINES[self.method]
+        tiles_joined = 0
 
         registry = get_registry() if metrics_enabled() else None
         for tx in range(self.tiles_per_dim):
@@ -160,6 +174,7 @@ class DiskPartitionedJoin:
                 s_path = self._tile_path("s", tx, ty)
                 if not (r_path.exists() and s_path.exists()):
                     continue
+                tiles_joined += 1
                 with trace("tile", tx=tx, ty=ty) as tile_span:
                     r_objects = self._load_tile(r_path, grid)
                     s_objects = self._load_tile(s_path, grid)
@@ -205,11 +220,16 @@ class DiskPartitionedJoin:
                         if outcome.relation is TopologicalRelation.DISJOINT and not include_disjoint:
                             continue
                         results.append(
-                            DiskJoinResult(r_objects[i].oid, s_objects[j].oid, outcome.relation)
+                            JoinResult(
+                                r_objects[i].oid,
+                                s_objects[j].oid,
+                                outcome.relation,
+                                outcome.stage is not Stage.REFINEMENT,
+                            )
                         )
                     total_stats = total_stats.merge(tile_stats)
-        results.sort(key=lambda link: (link.r_id, link.s_id))
-        return results, total_stats
+        results.sort(key=lambda link: (link.r_index, link.s_index))
+        return results, total_stats, max(tiles_joined, 1)
 
     def _load_tile(self, path: Path, grid: RasterGrid) -> list[SpatialObject]:
         objects = []

@@ -1,14 +1,17 @@
-"""Backward-compatible wrapper around :mod:`repro.parallel`.
+"""DEPRECATED wrapper around :mod:`repro.parallel`.
 
 The parallel executor grew into its own package (chunk *and* tile
 partitioning, relate_p support, parallel preprocessing, deterministic
 per-pair results). This module keeps the original ``(stats, wall)``
-call signature alive for existing callers; new code should import from
-:mod:`repro.parallel` directly.
+call signature alive for existing callers, emitting a
+:class:`DeprecationWarning` on use; import from :mod:`repro.parallel`
+instead. The shim will be removed two releases after 1.0 (see
+CHANGES.md for the timeline).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.join.objects import SpatialObject
@@ -27,10 +30,19 @@ def run_find_relation_parallel(
 ) -> tuple[JoinRunStats, float]:
     """Process ``pairs`` across ``workers`` processes.
 
-    Returns ``(stats, wall_seconds)``; see
-    :func:`repro.parallel.run_find_relation_parallel` for the richer
-    result object this delegates to.
+    .. deprecated:: 1.1
+       Use :func:`repro.parallel.run_find_relation_parallel`, which
+       returns the full :class:`~repro.parallel.executor.ParallelFindRun`
+       (per-pair results, worker/partition counts) instead of this
+       ``(stats, wall_seconds)`` pair.
     """
+    warnings.warn(
+        "repro.join.parallel.run_find_relation_parallel is deprecated; "
+        "import run_find_relation_parallel from repro.parallel instead "
+        "(it returns a ParallelFindRun with results, stats and wall time)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     run = _run_parallel(
         pipeline, r_objects, s_objects, pairs, workers=workers, chunk_size=chunk_size
     )

@@ -1,0 +1,102 @@
+"""The unified join result envelope.
+
+Before PR 4 every execution mode had its own return shape: the serial
+runner returned bare stats, the batch runner stats only, the parallel
+executor a ``ParallelFindRun``, and the disk join a bespoke
+``(results, stats)`` tuple of its own result type. :class:`JoinRun` is
+the one envelope they all now share: per-pair links, merged statistics,
+and execution metadata (mode, wall clock, worker/partition counts),
+regardless of how the join was executed.
+
+``JoinRun`` unpacks as ``results, stats = run`` so pre-envelope callers
+keep working; relate_p runs unpack their matches as ``(i, j)`` pairs,
+matching the historical ``run_predicate`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.join.stats import JoinRunStats
+from repro.topology.de9im import TopologicalRelation
+
+
+@dataclass(frozen=True, slots=True)
+class JoinResult:
+    """One discovered link: indices into the two inputs + provenance."""
+
+    r_index: int
+    s_index: int
+    relation: TopologicalRelation
+    #: True when the relation was proven without DE-9IM refinement;
+    #: None for relate_p matches, where the stage is not tracked per pair.
+    filtered: bool | None
+
+    # Aliases kept from the retired DiskJoinResult type, whose rows
+    # carried original dataset ids under these names.
+    @property
+    def r_id(self) -> int:
+        return self.r_index
+
+    @property
+    def s_id(self) -> int:
+        return self.s_index
+
+
+@dataclass
+class JoinRun:
+    """What one join execution produced, independent of how it ran."""
+
+    #: Discovered links in ``(r_index, s_index)`` order. For disk joins
+    #: the indices are original dataset ids (identical numbering when
+    #: inputs are whole datasets, which is how the engine calls it).
+    results: list[JoinResult]
+    stats: JoinRunStats
+    method: str
+    #: One of ``"serial"``, ``"batch"``, ``"parallel"``, ``"disk"``.
+    mode: str
+    #: ``"find"`` for find-relation runs, ``"relate"`` for relate_p.
+    kind: str = "find"
+    predicate: TopologicalRelation | None = None
+    #: End-to-end elapsed seconds, including pool/tile orchestration.
+    wall_seconds: float = 0.0
+    workers: int = 1
+    partitions: int = 1
+    #: Execution extras (cache outcomes, workdir, grid order, ...).
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def matches(self) -> list[tuple[int, int]]:
+        """Result pairs as bare ``(r_index, s_index)`` tuples."""
+        return [(link.r_index, link.s_index) for link in self.results]
+
+    def __iter__(self) -> Iterator:
+        """Unpack as ``results, stats`` (``matches, stats`` for relate_p),
+        the shapes the pre-envelope entry points returned."""
+        yield self.matches if self.kind == "relate" else self.results
+        yield self.stats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary for run reports and logs."""
+        d = {
+            "kind": self.kind,
+            "method": self.method,
+            "mode": self.mode,
+            "links": len(self.results),
+            "stats": self.stats.to_dict(),
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "partitions": self.partitions,
+        }
+        if self.predicate is not None:
+            d["predicate"] = self.predicate.value
+        if self.meta:
+            d["meta"] = dict(self.meta)
+        return d
+
+
+__all__ = ["JoinResult", "JoinRun"]

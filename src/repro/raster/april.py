@@ -90,6 +90,10 @@ def observe_april_metrics(approx: AprilApproximation) -> None:
     serial build for every worker count.
     """
     registry = get_registry()
+    # One increment per rasterised object: the warm-path proof counter.
+    # A join served entirely from the store (loaded approximations)
+    # never increments it, which is what the store smoke tests assert.
+    registry.inc("repro_april_built_total")
     registry.observe("repro_april_intervals", len(approx.p), list="p")
     registry.observe("repro_april_intervals", len(approx.c), list="c")
     registry.observe("repro_april_bytes", approx.nbytes)

@@ -6,6 +6,11 @@ packs a whole dataset's P/C interval lists into one ``.npz`` file:
 per-object interval arrays are concatenated with offset indexes, so a
 collection of any size loads with a handful of numpy reads and zero
 per-object parsing.
+
+Every load is validated: a payload with an unknown format version, a
+missing array, or — when the caller states the grid it is about to join
+on — a mismatched grid raises a typed :class:`StoreError` instead of
+silently yielding approximations that would compare garbage intervals.
 """
 
 from __future__ import annotations
@@ -21,6 +26,16 @@ from repro.raster.grid import RasterGrid
 from repro.raster.intervals import IntervalList
 
 _FORMAT_VERSION = 1
+
+
+class StoreError(ValueError):
+    """A persisted spatial artifact cannot be used.
+
+    Raised for stale format versions, grid mismatches against the grid
+    a join is about to run on, corrupt payloads, and stale dataset
+    indexes whose source files have changed. Subclasses ``ValueError``
+    so pre-PR-4 callers that caught the untyped error keep working.
+    """
 
 
 def save_approximations(
@@ -60,33 +75,57 @@ def save_approximations(
     )
 
 
-def load_approximations(path: str | Path) -> list[AprilApproximation]:
-    """Read approximations written by :func:`save_approximations`."""
-    with np.load(Path(path)) as data:
-        version = int(data["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported approximation file version {version}")
-        xmin, ymin, xmax, ymax = data["dataspace"].tolist()
-        grid = RasterGrid(Box(xmin, ymin, xmax, ymax), order=int(data["grid_order"]))
+def load_approximations(
+    path: str | Path,
+    expected_grid: RasterGrid | None = None,
+) -> list[AprilApproximation]:
+    """Read approximations written by :func:`save_approximations`.
 
-        def unpack(prefix: str) -> list[IntervalList]:
-            offsets = data[f"{prefix}_offsets"]
-            starts = data[f"{prefix}_starts"]
-            ends = data[f"{prefix}_ends"]
-            lists = []
-            for k in range(offsets.size - 1):
-                lo, hi = int(offsets[k]), int(offsets[k + 1])
-                lists.append(IntervalList._from_arrays(starts[lo:hi].copy(), ends[lo:hi].copy()))
-            return lists
+    When ``expected_grid`` is given, the payload's recorded grid must
+    be compatible with it (same order and dataspace) or a
+    :class:`StoreError` is raised — without this check, a stale or
+    copied ``.npz`` silently produces approximations whose Hilbert ids
+    mean different cells than the join's grid, corrupting every filter
+    verdict downstream.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        try:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise StoreError(
+                    f"{path}: unsupported approximation file version {version} "
+                    f"(this build reads version {_FORMAT_VERSION})"
+                )
+            xmin, ymin, xmax, ymax = data["dataspace"].tolist()
+            grid = RasterGrid(Box(xmin, ymin, xmax, ymax), order=int(data["grid_order"]))
+            if expected_grid is not None and not grid.compatible_with(expected_grid):
+                raise StoreError(
+                    f"{path}: approximations were built on grid order {grid.order} "
+                    f"over {grid.dataspace}, but the join runs on grid order "
+                    f"{expected_grid.order} over {expected_grid.dataspace}"
+                )
 
-        p_lists = unpack("p")
-        c_lists = unpack("c")
+            def unpack(prefix: str) -> list[IntervalList]:
+                offsets = data[f"{prefix}_offsets"]
+                starts = data[f"{prefix}_starts"]
+                ends = data[f"{prefix}_ends"]
+                lists = []
+                for k in range(offsets.size - 1):
+                    lo, hi = int(offsets[k]), int(offsets[k + 1])
+                    lists.append(IntervalList._from_arrays(starts[lo:hi].copy(), ends[lo:hi].copy()))
+                return lists
+
+            p_lists = unpack("p")
+            c_lists = unpack("c")
+        except KeyError as exc:
+            raise StoreError(f"{path}: corrupt approximation file: missing {exc}") from exc
 
     if len(p_lists) != len(c_lists):
-        raise ValueError("corrupt approximation file: P/C counts differ")
+        raise StoreError(f"{path}: corrupt approximation file: P/C counts differ")
     return [
         AprilApproximation(grid=grid, p=p, c=c) for p, c in zip(p_lists, c_lists)
     ]
 
 
-__all__ = ["load_approximations", "save_approximations"]
+__all__ = ["StoreError", "load_approximations", "save_approximations"]

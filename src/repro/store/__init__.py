@@ -1,0 +1,46 @@
+"""Persistent dataset store + warm-cache join engine.
+
+The front door for repeated joins: build a dataset index once
+(``python -m repro build-index`` or :func:`build_dataset`), then every
+join over it — in this process or the next — loads approximations from
+the index instead of rasterising::
+
+    from repro.store import Engine
+
+    engine = Engine()
+    run = engine.join("tiger_index/", "osm_index/", mode="auto", workers=4)
+    for link in run.results:
+        print(link.r_index, link.relation.value, link.s_index)
+
+See :mod:`repro.store.dataset` for the on-disk layout and
+:mod:`repro.store.engine` for the caching contract.
+"""
+
+from repro.raster.storage import StoreError
+from repro.store.dataset import (
+    MANIFEST_VERSION,
+    SpatialDataset,
+    build_dataset,
+    content_hash,
+    file_sha256,
+    grid_key,
+    load_geometry_file,
+    open_dataset,
+)
+from repro.store.engine import MODES, Engine, default_engine, set_default_engine
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "MODES",
+    "Engine",
+    "SpatialDataset",
+    "StoreError",
+    "build_dataset",
+    "content_hash",
+    "default_engine",
+    "file_sha256",
+    "grid_key",
+    "load_geometry_file",
+    "open_dataset",
+    "set_default_engine",
+]

@@ -1,0 +1,401 @@
+"""Persistent spatial datasets: build once, query many times.
+
+The paper's preprocessing is "conducted once per object", yet until
+PR 4 the repo rebuilt APRIL approximations on every join construction
+unless the caller hand-managed ``.npz`` paths. A :class:`SpatialDataset`
+turns preprocessing into a build-once artifact: it bundles the
+geometries, their MBRs, a packed STR R-tree, and APRIL P/C interval
+payloads, and can persist the whole bundle into a versioned on-disk
+index directory::
+
+    index_dir/
+      manifest.json      format version, counts, extent, content hash,
+                         source fingerprint, payload catalog
+      geometries.wkt     canonical geometry dump (one WKT per line,
+                         precision 17 — float64 round-trip exact)
+      april/
+        g<order>_<ds>.npz  one payload per (grid order, dataspace),
+                           written via raster.storage
+
+A dataset may hold payloads for *several* grids: a join between two
+datasets runs on the padded union of their extents, so the first
+(cold) join against a new partner rasterises on the union grid and
+persists that payload into the index — every later join against the
+same partner loads it and performs zero rasterisation.
+
+Identity is content-addressed: ``content_hash`` is the SHA-256 of the
+canonical WKT dump (stable across formatting and storage), and
+``source_sha256`` fingerprints the raw source file so a mutated source
+invalidates the index (the engine then rebuilds it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import time
+from functools import cached_property
+from pathlib import Path
+from typing import Sequence
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import Polygon
+from repro.geometry.wkt import dumps_wkt, loads_wkt_geometry
+from repro.join.rtree import RTree
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import trace
+from repro.raster.grid import RasterGrid, pad_dataspace
+from repro.raster.storage import StoreError, load_approximations, save_approximations
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+GEOMETRY_NAME = "geometries.wkt"
+APRIL_DIR = "april"
+#: repr-exact float64 round trip, so the canonical dump (and therefore
+#: the content hash) is stable across save/load cycles.
+_WKT_PRECISION = 17
+
+
+# ----------------------------------------------------------------------
+# hashing and keys
+# ----------------------------------------------------------------------
+def content_hash(geometries: Sequence) -> str:
+    """SHA-256 of the canonical WKT dump of ``geometries``."""
+    h = hashlib.sha256()
+    for g in geometries:
+        h.update(dumps_wkt(g, precision=_WKT_PRECISION).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 of a file's raw bytes (source staleness fingerprint)."""
+    h = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def grid_key(grid: RasterGrid) -> str:
+    """Filename-safe identity of a grid: order + dataspace digest."""
+    ds = grid.dataspace
+    digest = hashlib.sha256(
+        struct.pack("<4d", ds.xmin, ds.ymin, ds.xmax, ds.ymax)
+    ).hexdigest()[:12]
+    return f"g{grid.order}_{digest}"
+
+
+def _observe_cache(cache: str, outcome: str) -> None:
+    if metrics_enabled():
+        get_registry().inc("repro_store_cache_total", cache=cache, outcome=outcome)
+
+
+def _observe_build(what: str, seconds: float) -> None:
+    if metrics_enabled():
+        get_registry().observe("repro_store_build_seconds", seconds, what=what)
+
+
+# ----------------------------------------------------------------------
+# source loading
+# ----------------------------------------------------------------------
+def load_geometry_file(path: str | Path) -> list[Polygon]:
+    """Load the polygonal geometries of a ``.wkt`` or ``.geojson`` file."""
+    from repro.datasets.geojson import load_geojson
+    from repro.datasets.io import load_wkt_file
+    from repro.geometry.multipolygon import MultiPolygon
+
+    p = Path(path)
+    if p.suffix.lower() in (".geojson", ".json"):
+        geometries = [f.geometry for f in load_geojson(p)]
+    else:
+        geometries = load_wkt_file(p)
+    areal = [g for g in geometries if isinstance(g, (Polygon, MultiPolygon))]
+    if not areal:
+        raise ValueError(f"{path}: no polygonal geometries found")
+    return areal
+
+
+# ----------------------------------------------------------------------
+# the dataset
+# ----------------------------------------------------------------------
+class SpatialDataset:
+    """A polygon collection plus everything a join needs precomputed.
+
+    In-memory datasets (``path is None``) cache their derived bundles
+    (boxes, extent, R-tree, content hash) for the process lifetime;
+    persistent datasets additionally load/store APRIL payloads in their
+    index directory.
+    """
+
+    def __init__(
+        self,
+        geometries: Sequence[Polygon],
+        *,
+        name: str = "dataset",
+        path: str | Path | None = None,
+        source: str | Path | None = None,
+        source_sha256: str | None = None,
+    ) -> None:
+        geometries = list(geometries)
+        if not geometries:
+            raise ValueError("a dataset must contain at least one geometry")
+        self.geometries = geometries
+        self.name = name
+        self.path = Path(path) if path is not None else None
+        self.source = Path(source) if source is not None else None
+        self.source_sha256 = source_sha256
+
+    def __len__(self) -> int:
+        return len(self.geometries)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path else "memory"
+        return f"SpatialDataset({self.name!r}, {len(self)} geometries, {where})"
+
+    # ------------------------------------------------------------------
+    # identity and derived bundles
+    # ------------------------------------------------------------------
+    @cached_property
+    def content_hash(self) -> str:
+        return content_hash(self.geometries)
+
+    @cached_property
+    def boxes(self) -> list[Box]:
+        return [g.bbox for g in self.geometries]
+
+    @cached_property
+    def extent(self) -> Box:
+        return Box.union_all(self.boxes)
+
+    @cached_property
+    def rtree(self) -> RTree:
+        """Packed STR R-tree over the MBRs (selection access path)."""
+        return RTree(self.boxes)
+
+    def grid(self, order: int) -> RasterGrid:
+        """The dataset's own grid: its padded extent at ``order``."""
+        return RasterGrid(pad_dataspace(self.extent), order=order)
+
+    # ------------------------------------------------------------------
+    # approximations
+    # ------------------------------------------------------------------
+    def approximation_path(self, grid: RasterGrid) -> Path | None:
+        if self.path is None:
+            return None
+        return self.path / APRIL_DIR / (grid_key(grid) + ".npz")
+
+    def approximations(self, grid: RasterGrid, workers: int | None = 1) -> list:
+        """APRIL lists for every geometry on ``grid`` — loaded from the
+        index when a valid payload exists, built (and, for persistent
+        datasets, written back) otherwise."""
+        payload = self.approximation_path(grid)
+        if payload is not None and payload.exists():
+            try:
+                aprils = load_approximations(payload, expected_grid=grid)
+                if len(aprils) == len(self.geometries):
+                    _observe_cache("april_payload", "hit")
+                    return aprils
+            except StoreError:
+                pass  # stale or foreign payload: rebuild below
+        if payload is not None:
+            _observe_cache("april_payload", "miss")
+        aprils = self._build_approximations(grid, workers)
+        if payload is not None:
+            payload.parent.mkdir(parents=True, exist_ok=True)
+            save_approximations(payload, aprils)
+            self._register_payload(grid, payload)
+        return aprils
+
+    def _build_approximations(self, grid: RasterGrid, workers: int | None) -> list:
+        from repro.parallel import build_april_parallel
+
+        t0 = time.perf_counter()
+        with trace("store_build_april", count=len(self), grid_order=grid.order):
+            aprils = build_april_parallel(self.geometries, grid, workers=workers)
+        _observe_build("april", time.perf_counter() - t0)
+        return aprils
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _manifest(self) -> dict:
+        ext = self.extent
+        return {
+            "format_version": MANIFEST_VERSION,
+            "name": self.name,
+            "count": len(self),
+            "content_hash": self.content_hash,
+            "source": str(self.source) if self.source else None,
+            "source_sha256": self.source_sha256,
+            "extent": [ext.xmin, ext.ymin, ext.xmax, ext.ymax],
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "approximations": [],
+        }
+
+    def _write_manifest(self, manifest: dict) -> None:
+        assert self.path is not None
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self.path / MANIFEST_NAME)
+
+    def _register_payload(self, grid: RasterGrid, payload: Path) -> None:
+        """Record a freshly written payload in the manifest catalog."""
+        assert self.path is not None
+        manifest_path = self.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        ds = grid.dataspace
+        entry = {
+            "file": str(payload.relative_to(self.path)),
+            "grid_order": grid.order,
+            "dataspace": [ds.xmin, ds.ymin, ds.xmax, ds.ymax],
+            "count": len(self),
+        }
+        entries = [
+            e for e in manifest.get("approximations", []) if e["file"] != entry["file"]
+        ]
+        entries.append(entry)
+        manifest["approximations"] = sorted(entries, key=lambda e: e["file"])
+        self._write_manifest(manifest)
+
+    def save(self, index_dir: str | Path) -> "SpatialDataset":
+        """Persist geometries + manifest into ``index_dir``; returns the
+        persistent dataset bound to that directory."""
+        index_dir = Path(index_dir)
+        index_dir.mkdir(parents=True, exist_ok=True)
+        lines = [dumps_wkt(g, precision=_WKT_PRECISION) for g in self.geometries]
+        (index_dir / GEOMETRY_NAME).write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+        persistent = SpatialDataset(
+            self.geometries,
+            name=self.name,
+            path=index_dir,
+            source=self.source,
+            source_sha256=self.source_sha256,
+        )
+        persistent._write_manifest(persistent._manifest())
+        return persistent
+
+    @classmethod
+    def open(
+        cls, index_dir: str | Path, source: str | Path | None = None
+    ) -> "SpatialDataset":
+        """Load a dataset from its index directory.
+
+        Raises :class:`StoreError` when the manifest is missing or has
+        an unknown format version, when the stored geometries do not
+        match the recorded content hash, or when ``source`` is given
+        and its bytes no longer match the recorded fingerprint (the
+        index is stale; rebuild it).
+        """
+        index_dir = Path(index_dir)
+        manifest_path = index_dir / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"{index_dir}: not a dataset index (no {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"{manifest_path}: corrupt manifest: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != MANIFEST_VERSION:
+            raise StoreError(
+                f"{index_dir}: unsupported index format version {version!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        if source is not None:
+            fingerprint = file_sha256(source)
+            if fingerprint != manifest.get("source_sha256"):
+                raise StoreError(
+                    f"{index_dir}: stale index — {source} has changed since the "
+                    "index was built (content-hash mismatch); rebuild the index"
+                )
+        geometries = []
+        with (index_dir / GEOMETRY_NAME).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    geometries.append(loads_wkt_geometry(line))
+        if len(geometries) != manifest.get("count"):
+            raise StoreError(
+                f"{index_dir}: corrupt index — {len(geometries)} geometries stored, "
+                f"manifest records {manifest.get('count')}"
+            )
+        dataset = cls(
+            geometries,
+            name=manifest.get("name", index_dir.name),
+            path=index_dir,
+            source=manifest.get("source"),
+            source_sha256=manifest.get("source_sha256"),
+        )
+        if dataset.content_hash != manifest.get("content_hash"):
+            raise StoreError(
+                f"{index_dir}: corrupt index — stored geometries do not match "
+                "the manifest's content hash"
+            )
+        return dataset
+
+    @classmethod
+    def from_polygons(
+        cls, polygons: Sequence[Polygon], name: str = "memory"
+    ) -> "SpatialDataset":
+        """An in-memory (non-persistent) dataset over ``polygons``."""
+        return cls(polygons, name=name)
+
+
+# ----------------------------------------------------------------------
+# module-level helpers (the CLI's build-index entry points)
+# ----------------------------------------------------------------------
+def build_dataset(
+    source: str | Path,
+    index_dir: str | Path,
+    *,
+    grid_order: int | None = None,
+    workers: int | None = 1,
+    name: str | None = None,
+) -> SpatialDataset:
+    """Build a persistent index for a ``.wkt``/``.geojson`` source file.
+
+    With ``grid_order`` set, the APRIL payload for the dataset's *own*
+    padded-extent grid is precomputed too (warm self-joins / selection);
+    payloads for join-partner union grids are added lazily by the first
+    cold join against each partner.
+    """
+    source = Path(source)
+    t0 = time.perf_counter()
+    geometries = load_geometry_file(source)
+    dataset = SpatialDataset(
+        geometries,
+        name=name or source.stem,
+        source=source,
+        source_sha256=file_sha256(source),
+    )
+    persistent = dataset.save(index_dir)
+    if grid_order is not None:
+        persistent.approximations(persistent.grid(grid_order), workers=workers)
+    _observe_build("dataset", time.perf_counter() - t0)
+    return persistent
+
+
+def open_dataset(
+    index_dir: str | Path, source: str | Path | None = None
+) -> SpatialDataset:
+    """Open a persisted dataset index (see :meth:`SpatialDataset.open`)."""
+    return SpatialDataset.open(index_dir, source=source)
+
+
+__all__ = [
+    "APRIL_DIR",
+    "GEOMETRY_NAME",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "SpatialDataset",
+    "build_dataset",
+    "content_hash",
+    "file_sha256",
+    "grid_key",
+    "load_geometry_file",
+    "open_dataset",
+]

@@ -1,0 +1,474 @@
+"""The warm-cache join engine: one front door for every execution mode.
+
+Before PR 4 each way of running a join had its own entry point and its
+own return shape — ``TopologyJoin`` for in-memory serial/parallel runs,
+``run_find_relation_batch`` for the vectorised path, and
+``DiskPartitionedJoin`` for out-of-core PBSM. The :class:`Engine`
+subsumes them: :meth:`Engine.join` accepts datasets in any form (index
+directories, ``.wkt``/``.geojson`` files, polygon lists, or
+:class:`~repro.store.dataset.SpatialDataset` objects), picks the
+execution mode from one argument, and always returns the same
+:class:`~repro.join.run.JoinRun` envelope.
+
+The engine memoises the expensive intermediates in bounded LRU caches:
+
+- **datasets** — parsed geometry collections, keyed by resolved path +
+  a content fingerprint, so a mutated source file is a cache *miss*
+  (never a stale hit);
+- **object sets** — ``SpatialObject`` lists per (dataset content hash,
+  grid), where APRIL approximations live; backed by the dataset's
+  persistent payloads, so a warm join — even in a brand-new process —
+  performs zero rasterisation;
+- **candidate pairs** — the plane-sweep MBR join per dataset pair.
+
+Cache traffic is observable through the metrics registry
+(``repro_store_cache_total{cache,outcome}``,
+``repro_store_build_seconds{what}``), and the warm-path proof counter
+``repro_april_built_total`` stays at zero for a fully warm run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Sequence
+
+from repro.geometry.box import Box
+from repro.join.mbr_join import plane_sweep_mbr_join
+from repro.join.objects import SpatialObject
+from repro.join.pipeline import PIPELINES
+from repro.join.run import JoinResult, JoinRun
+from repro.obs.trace import trace
+from repro.raster.grid import RasterGrid, pad_dataspace
+from repro.store.dataset import (
+    MANIFEST_NAME,
+    SpatialDataset,
+    _observe_cache,
+    content_hash,
+    file_sha256,
+)
+from repro.topology.de9im import TopologicalRelation
+
+#: Execution modes :meth:`Engine.join` understands.
+MODES = ("auto", "serial", "batch", "parallel", "disk")
+
+
+class _LRU:
+    """A bounded insertion/access-ordered cache with obs counters."""
+
+    def __init__(self, capacity: int, name: str) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        """The cached value or None; records a hit/miss counter either way."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            _observe_cache(self.name, "miss")
+            return None
+        self._data.move_to_end(key)
+        _observe_cache(self.name, "hit")
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            _observe_cache(self.name, "evict")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def _grid_identity(grid: RasterGrid) -> tuple:
+    ds = grid.dataspace
+    return (grid.order, ds.xmin, ds.ymin, ds.xmax, ds.ymax)
+
+
+class Engine:
+    """Resolves datasets, memoises their derived state, runs joins.
+
+    Parameters bound the LRU caches; an engine with the defaults keeps
+    a handful of datasets fully warm. One engine instance is not
+    thread-safe; share it across sequential queries only.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_datasets: int = 8,
+        max_object_sets: int = 16,
+        max_pair_sets: int = 32,
+    ) -> None:
+        self._datasets = _LRU(max_datasets, "dataset")
+        self._objects = _LRU(max_object_sets, "objects")
+        self._pairs = _LRU(max_pair_sets, "pairs")
+
+    # ------------------------------------------------------------------
+    # dataset resolution
+    # ------------------------------------------------------------------
+    def dataset(self, source) -> SpatialDataset:
+        """Resolve ``source`` into a (possibly cached) dataset.
+
+        Accepts a :class:`SpatialDataset` (returned as-is), a path to an
+        index directory (must hold a ``manifest.json``), a path to a
+        ``.wkt``/``.geojson`` file, or a sequence of polygons. Cache
+        keys embed a content fingerprint — the manifest bytes for an
+        index, the file bytes for a source file, the geometry content
+        hash for in-memory inputs — so mutating the source invalidates
+        the entry instead of serving stale geometry.
+        """
+        if isinstance(source, SpatialDataset):
+            return source
+        if isinstance(source, (str, Path)):
+            path = Path(source)
+            if path.is_dir():
+                key = ("index", str(path.resolve()), file_sha256(path / MANIFEST_NAME))
+                cached = self._datasets.get(key)
+                if cached is None:
+                    cached = SpatialDataset.open(path)
+                    self._datasets.put(key, cached)
+                return cached
+            key = ("file", str(path.resolve()), file_sha256(path))
+            cached = self._datasets.get(key)
+            if cached is None:
+                from repro.store.dataset import load_geometry_file
+
+                cached = SpatialDataset(
+                    load_geometry_file(path),
+                    name=path.stem,
+                    source=path,
+                    source_sha256=key[2],
+                )
+                self._datasets.put(key, cached)
+            return cached
+        polygons = list(source)
+        key = ("mem", content_hash(polygons))
+        cached = self._datasets.get(key)
+        if cached is None:
+            cached = SpatialDataset.from_polygons(polygons)
+            self._datasets.put(key, cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # derived state
+    # ------------------------------------------------------------------
+    def join_grid(
+        self, r: SpatialDataset, s: SpatialDataset, grid_order: int
+    ) -> RasterGrid:
+        """The shared grid a join between ``r`` and ``s`` runs on: the
+        padded union of both extents (identical to the historical
+        ``TopologyJoin.grid``)."""
+        return RasterGrid(
+            pad_dataspace(Box.union_all([r.extent, s.extent])), order=grid_order
+        )
+
+    def objects(
+        self,
+        dataset: SpatialDataset,
+        grid: RasterGrid,
+        *,
+        with_april: bool = True,
+        workers: int | None = 1,
+    ) -> list[SpatialObject]:
+        """The dataset's ``SpatialObject`` list for ``grid``.
+
+        Object lists are cached per (content hash, grid); APRIL
+        approximations are attached lazily (``with_april``) and come
+        from :meth:`SpatialDataset.approximations`, i.e. from the
+        persistent payload when one exists — the warm path that skips
+        rasterisation entirely.
+        """
+        key = (dataset.content_hash, _grid_identity(grid))
+        objects = self._objects.get(key)
+        if objects is None:
+            objects = [
+                SpatialObject(oid=oid, polygon=polygon, box=box)
+                for oid, (polygon, box) in enumerate(
+                    zip(dataset.geometries, dataset.boxes)
+                )
+            ]
+            self._objects.put(key, objects)
+        if with_april and objects and objects[0].april is None:
+            aprils = dataset.approximations(grid, workers=workers)
+            for obj, approx in zip(objects, aprils):
+                obj.april = approx
+        return objects
+
+    def pairs(self, r: SpatialDataset, s: SpatialDataset) -> list[tuple[int, int]]:
+        """The MBR filter step for the dataset pair, cached and sorted."""
+        key = (r.content_hash, s.content_hash)
+        pairs = self._pairs.get(key)
+        if pairs is None:
+            with trace("mbr_filter_step") as span:
+                pairs = plane_sweep_mbr_join(r.boxes, s.boxes)
+                pairs.sort()
+                if span is not None:
+                    span.attrs["pairs"] = len(pairs)
+            self._pairs.put(key, pairs)
+        return pairs
+
+    def clear(self) -> None:
+        """Drop every cached dataset, object set and pair set."""
+        self._datasets.clear()
+        self._objects.clear()
+        self._pairs.clear()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        r,
+        s,
+        *,
+        method: str = "P+C",
+        grid_order: int = 11,
+        mode: str = "auto",
+        predicate: TopologicalRelation | None = None,
+        workers: int | None = 1,
+        include_disjoint: bool = False,
+        chunk_size: int | None = None,
+        partition: str = "chunks",
+        tiles_per_dim: int | None = None,
+        workdir: str | Path | None = None,
+    ) -> JoinRun:
+        """Join ``r`` with ``s`` and return one :class:`JoinRun`,
+        whatever the execution mode.
+
+        ``mode="auto"`` runs serial for ``workers=1`` and parallel
+        otherwise; ``"batch"`` uses the vectorised P+C runner;
+        ``"disk"`` runs the out-of-core PBSM join (``workdir`` holds
+        the partition files; a temporary directory when omitted).
+        ``predicate`` switches from find-relation to a relate_p join.
+        """
+        if method not in PIPELINES:
+            raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; available: {list(MODES)}")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        rd = self.dataset(r)
+        sd = self.dataset(s)
+        if mode == "disk":
+            if predicate is not None:
+                raise ValueError("disk mode does not support relate_p predicates")
+            return self._disk_join(
+                rd,
+                sd,
+                method=method,
+                grid_order=grid_order,
+                tiles_per_dim=tiles_per_dim or 4,
+                include_disjoint=include_disjoint,
+                workdir=workdir,
+            )
+        with trace("topology_join", method=method, mode=mode):
+            grid = self.join_grid(rd, sd, grid_order)
+            needs_april = predicate is not None or PIPELINES[method].uses_april
+            r_objects = self.objects(rd, grid, with_april=needs_april, workers=workers)
+            s_objects = self.objects(sd, grid, with_april=needs_april, workers=workers)
+            pairs = self.pairs(rd, sd)
+            run = self.execute(
+                method,
+                r_objects,
+                s_objects,
+                pairs,
+                mode=mode,
+                predicate=predicate,
+                workers=workers,
+                include_disjoint=include_disjoint,
+                chunk_size=chunk_size,
+                partition=partition,
+                tiles_per_dim=tiles_per_dim,
+            )
+        run.meta.update(
+            r=rd.name, s=sd.name, r_count=len(rd), s_count=len(sd), grid_order=grid_order
+        )
+        return run
+
+    def execute(
+        self,
+        method: str,
+        r_objects: Sequence[SpatialObject],
+        s_objects: Sequence[SpatialObject],
+        pairs: Sequence[tuple[int, int]],
+        *,
+        mode: str = "auto",
+        predicate: TopologicalRelation | None = None,
+        workers: int | None = 1,
+        include_disjoint: bool = False,
+        chunk_size: int | None = None,
+        partition: str = "chunks",
+        tiles_per_dim: int | None = None,
+    ) -> JoinRun:
+        """Run one verification pass over prepared objects and pairs.
+
+        The lower-level sibling of :meth:`join` for callers that manage
+        their own objects (``TopologyJoin`` delegates here).
+        """
+        from repro.parallel import run_find_relation_parallel, run_relate_parallel
+
+        if mode == "auto":
+            mode = "parallel" if workers is None or workers > 1 else "serial"
+        effective = 1 if mode == "serial" else workers
+
+        if predicate is not None:
+            if mode not in ("serial", "parallel"):
+                raise ValueError(f"relate_p joins support serial/parallel, not {mode!r}")
+            relate_run = run_relate_parallel(
+                predicate,
+                r_objects,
+                s_objects,
+                pairs,
+                workers=effective,
+                chunk_size=chunk_size,
+                partition=partition,
+                tiles_per_dim=tiles_per_dim,
+            )
+            return JoinRun(
+                results=[
+                    JoinResult(i, j, predicate, None) for i, j in relate_run.matches
+                ],
+                stats=relate_run.stats,
+                method=relate_run.stats.method,
+                mode=mode,
+                kind="relate",
+                predicate=predicate,
+                wall_seconds=relate_run.wall_seconds,
+                workers=relate_run.workers,
+                partitions=relate_run.partitions,
+            )
+
+        if mode == "batch":
+            from repro.join.batch import run_find_relation_batch_outcomes
+
+            if method != "P+C":
+                raise ValueError(
+                    f"batch mode implements the P+C pipeline only, not {method!r}"
+                )
+            start = time.perf_counter()
+            outcomes, stats = run_find_relation_batch_outcomes(
+                r_objects, s_objects, pairs
+            )
+            wall = time.perf_counter() - start
+            run_workers, partitions = 1, 1
+        else:
+            find_run = run_find_relation_parallel(
+                method,
+                r_objects,
+                s_objects,
+                pairs,
+                workers=effective,
+                chunk_size=chunk_size,
+                partition=partition,
+                tiles_per_dim=tiles_per_dim,
+            )
+            outcomes, stats = find_run.results, find_run.stats
+            wall = find_run.wall_seconds
+            run_workers, partitions = find_run.workers, find_run.partitions
+
+        results = [
+            JoinResult(i, j, relation, filtered)
+            for i, j, relation, filtered in outcomes
+            if include_disjoint or relation is not TopologicalRelation.DISJOINT
+        ]
+        return JoinRun(
+            results=results,
+            stats=stats,
+            method=method,
+            mode=mode,
+            wall_seconds=wall,
+            workers=run_workers,
+            partitions=partitions,
+        )
+
+    def _disk_join(
+        self,
+        rd: SpatialDataset,
+        sd: SpatialDataset,
+        *,
+        method: str,
+        grid_order: int,
+        tiles_per_dim: int,
+        include_disjoint: bool,
+        workdir: str | Path | None,
+    ) -> JoinRun:
+        from repro.join.diskjoin import DiskPartitionedJoin
+
+        # The unpadded union extent: DiskPartitionedJoin pads it itself,
+        # so tiles share exactly the grid join_grid() would produce.
+        extent = Box.union_all([rd.extent, sd.extent])
+
+        def _run(directory: str | Path) -> JoinRun:
+            disk = DiskPartitionedJoin(
+                directory,
+                tiles_per_dim=tiles_per_dim,
+                grid_order=grid_order,
+                method=method,
+            )
+            disk.partition("r", rd.geometries, extent)
+            disk.partition("s", sd.geometries, extent)
+            return disk.run(include_disjoint=include_disjoint)
+
+        if workdir is not None:
+            run = _run(workdir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-diskjoin-") as tmp:
+                run = _run(tmp)
+            run.meta["workdir"] = None  # partitions were temporary
+        run.meta.update(r=rd.name, s=sd.name, r_count=len(rd), s_count=len(sd))
+        return run
+
+    def explain(self, r, s, i: int, j: int, *, grid_order: int = 11):
+        """The P+C filter narration for one pair of the two datasets
+        (see :func:`repro.join.explain.explain_pair`). Uses the cached
+        object sets, so explaining pairs of an indexed dataset does not
+        re-rasterise."""
+        from repro.join.explain import explain_pair
+
+        rd = self.dataset(r)
+        sd = self.dataset(s)
+        if not (0 <= i < len(rd)):
+            raise IndexError(f"r index {i} out of range for {len(rd)} geometries")
+        if not (0 <= j < len(sd)):
+            raise IndexError(f"s index {j} out of range for {len(sd)} geometries")
+        grid = self.join_grid(rd, sd, grid_order)
+        r_objects = self.objects(rd, grid)
+        s_objects = self.objects(sd, grid)
+        return explain_pair(r_objects[i], s_objects[j])
+
+
+# ----------------------------------------------------------------------
+# the process-default engine
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine the CLI and convenience APIs share."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Engine | None) -> Engine | None:
+    """Replace the process-default engine; returns the previous one.
+    Pass ``None`` to reset (a fresh engine is created on next use)."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+__all__ = ["Engine", "MODES", "default_engine", "set_default_engine"]

@@ -1,10 +1,10 @@
-"""Tests for the multiprocessing parallel runner."""
+"""Tests for the multiprocessing parallel runner (repro.parallel)."""
 
 import pytest
 
 from repro.datasets import load_scenario
-from repro.join.parallel import run_find_relation_parallel
 from repro.join.pipeline import run_find_relation
+from repro.parallel import run_find_relation_parallel
 
 
 @pytest.fixture(scope="module")
@@ -14,45 +14,46 @@ def scenario():
 
 class TestParallel:
     def test_single_worker_falls_back_to_scalar(self, scenario):
-        stats, wall = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs, workers=1
         )
         scalar = run_find_relation("P+C", scenario.r_objects, scenario.s_objects, scenario.pairs)
-        assert stats.relation_counts == scalar.relation_counts
-        assert wall > 0
+        assert run.stats.relation_counts == scalar.relation_counts
+        assert run.wall_seconds > 0
+        assert run.workers == 1
 
     def test_two_workers_same_counts(self, scenario):
-        stats, wall = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs, workers=2
         )
         scalar = run_find_relation("P+C", scenario.r_objects, scenario.s_objects, scenario.pairs)
-        assert stats.pairs == scalar.pairs
-        assert stats.relation_counts == scalar.relation_counts
-        assert stats.refined == scalar.refined
-        assert wall > 0
+        assert run.stats.pairs == scalar.pairs
+        assert run.stats.relation_counts == scalar.relation_counts
+        assert run.stats.refined == scalar.refined
+        assert run.wall_seconds > 0
 
     def test_geometry_access_deduplicated(self, scenario):
-        stats, _ = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs, workers=2
         )
         scalar = run_find_relation("P+C", scenario.r_objects, scenario.s_objects, scenario.pairs)
-        assert stats.r_objects_accessed == scalar.r_objects_accessed
-        assert stats.s_objects_accessed == scalar.s_objects_accessed
-        assert stats.r_objects_total == len(scenario.r_objects)
+        assert run.stats.r_objects_accessed == scalar.r_objects_accessed
+        assert run.stats.s_objects_accessed == scalar.s_objects_accessed
+        assert run.stats.r_objects_total == len(scenario.r_objects)
 
     def test_st2_parallel(self, scenario):
         pairs = scenario.pairs[:40]
-        stats, _ = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "ST2", scenario.r_objects, scenario.s_objects, pairs, workers=2
         )
         scalar = run_find_relation("ST2", scenario.r_objects, scenario.s_objects, pairs)
-        assert stats.relation_counts == scalar.relation_counts
+        assert run.stats.relation_counts == scalar.relation_counts
 
     def test_empty_pairs(self, scenario):
-        stats, _ = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "P+C", scenario.r_objects, scenario.s_objects, [], workers=2
         )
-        assert stats.pairs == 0
+        assert run.stats.pairs == 0
 
     def test_unknown_pipeline_rejected(self, scenario):
         with pytest.raises(KeyError):
@@ -61,8 +62,28 @@ class TestParallel:
             )
 
     def test_custom_chunk_size(self, scenario):
-        stats, _ = run_find_relation_parallel(
+        run = run_find_relation_parallel(
             "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs,
             workers=2, chunk_size=3,
         )
-        assert stats.pairs == len(scenario.pairs)
+        assert run.stats.pairs == len(scenario.pairs)
+
+
+class TestDeprecatedShim:
+    """repro.join.parallel survives as a deprecated ``(stats, wall)`` shim."""
+
+    def test_warns_and_returns_legacy_shape(self, scenario):
+        from repro.join.parallel import (
+            run_find_relation_parallel as legacy_parallel,
+        )
+
+        with pytest.warns(DeprecationWarning, match="repro.parallel"):
+            stats, wall = legacy_parallel(
+                "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs,
+                workers=1,
+            )
+        scalar = run_find_relation(
+            "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs
+        )
+        assert stats.relation_counts == scalar.relation_counts
+        assert wall > 0

@@ -1,0 +1,148 @@
+"""Tests for the persistent dataset store (manifest, payloads, staleness)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import save_wkt_file
+from repro.datasets.synthetic import generate_blobs, generate_tessellation
+from repro.geometry import Box, Polygon
+from repro.raster.grid import RasterGrid
+from repro.store import (
+    MANIFEST_VERSION,
+    SpatialDataset,
+    StoreError,
+    build_dataset,
+    content_hash,
+    open_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def polygons():
+    rng = np.random.default_rng(99)
+    region = Box(0, 0, 200, 200)
+    return generate_tessellation(rng, region, 3, 3, edge_points=6) + list(
+        generate_blobs(rng, 10, region, (4, 20), (8, 30))
+    )
+
+
+@pytest.fixture()
+def source_file(tmp_path, polygons):
+    path = tmp_path / "data.wkt"
+    save_wkt_file(path, polygons)
+    return path
+
+
+class TestManifestRoundTrip:
+    def test_build_then_open(self, source_file, tmp_path, polygons):
+        index = tmp_path / "idx"
+        built = build_dataset(source_file, index, grid_order=None)
+        opened = open_dataset(index)
+        assert len(opened) == len(polygons)
+        assert opened.content_hash == built.content_hash
+        assert opened.extent == built.extent
+        manifest = json.loads((index / "manifest.json").read_text())
+        assert manifest["format_version"] == MANIFEST_VERSION
+        assert manifest["count"] == len(polygons)
+        # The hash covers the *file's* geometries (save_wkt_file may
+        # round coordinates), and survives the index round trip.
+        assert manifest["content_hash"] == content_hash(built.geometries)
+        assert manifest["content_hash"] == content_hash(opened.geometries)
+        assert manifest["source_sha256"]
+
+    def test_precomputed_payload_registered(self, source_file, tmp_path):
+        index = tmp_path / "idx"
+        build_dataset(source_file, index, grid_order=9)
+        manifest = json.loads((index / "manifest.json").read_text())
+        (entry,) = manifest["approximations"]
+        assert entry["grid_order"] == 9
+        assert (index / entry["file"]).exists()
+
+    def test_open_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreError, match="manifest"):
+            open_dataset(tmp_path / "empty")
+
+    def test_open_unknown_format_version(self, source_file, tmp_path):
+        index = tmp_path / "idx"
+        build_dataset(source_file, index, grid_order=None)
+        manifest_path = index / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StoreError, match="version"):
+            open_dataset(index)
+
+    def test_tampered_geometries_detected(self, source_file, tmp_path):
+        index = tmp_path / "idx"
+        build_dataset(source_file, index, grid_order=None)
+        geom_path = index / "geometries.wkt"
+        lines = geom_path.read_text().splitlines()
+        lines[0] = "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"
+        geom_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreError, match="content hash"):
+            open_dataset(index)
+
+
+class TestSourceStaleness:
+    def test_mutated_source_rejected(self, source_file, tmp_path):
+        index = tmp_path / "idx"
+        build_dataset(source_file, index, grid_order=None)
+        with source_file.open("a") as fh:
+            fh.write("POLYGON ((500 500, 510 500, 510 510, 500 510, 500 500))\n")
+        with pytest.raises(StoreError, match="stale"):
+            open_dataset(index, source=source_file)
+
+    def test_unchanged_source_accepted(self, source_file, tmp_path):
+        index = tmp_path / "idx"
+        build_dataset(source_file, index, grid_order=None)
+        assert len(open_dataset(index, source=source_file)) > 0
+
+
+class TestApproximations:
+    def test_payload_written_then_loaded(self, polygons, tmp_path):
+        dataset = SpatialDataset.from_polygons(polygons).save(tmp_path / "idx")
+        grid = dataset.grid(8)
+        first = dataset.approximations(grid)
+        assert dataset.approximation_path(grid).exists()
+        # A fresh handle (new process analogue) loads, not rebuilds.
+        reloaded = open_dataset(tmp_path / "idx")
+        second = reloaded.approximations(grid)
+        assert len(second) == len(first)
+        for a, b in zip(first, second):
+            assert a.p == b.p and a.c == b.c
+
+    def test_memory_dataset_has_no_payload(self, polygons):
+        dataset = SpatialDataset.from_polygons(polygons)
+        assert dataset.approximation_path(dataset.grid(8)) is None
+        assert len(dataset.approximations(dataset.grid(8))) == len(polygons)
+
+    def test_foreign_grid_payload_rebuilt(self, polygons, tmp_path):
+        dataset = SpatialDataset.from_polygons(polygons).save(tmp_path / "idx")
+        grid = dataset.grid(8)
+        dataset.approximations(grid)
+        # A payload for a different grid lives under a different key:
+        # both coexist, neither is misread for the other.
+        other = RasterGrid(Box(-10, -10, 500, 500), order=8)
+        dataset.approximations(other)
+        assert dataset.approximation_path(grid) != dataset.approximation_path(other)
+        back = dataset.approximations(other)
+        assert back[0].grid.compatible_with(other)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset([])
+
+    def test_content_hash_stable_across_save(self, polygons, tmp_path):
+        dataset = SpatialDataset.from_polygons(polygons)
+        persisted = dataset.save(tmp_path / "idx")
+        assert open_dataset(tmp_path / "idx").content_hash == dataset.content_hash
+        assert persisted.content_hash == dataset.content_hash
+
+    def test_content_hash_distinguishes(self, polygons):
+        a = content_hash(polygons)
+        b = content_hash(polygons[:-1])
+        c = content_hash(polygons[:-1] + [Polygon.box(0, 0, 1, 1)])
+        assert len({a, b, c}) == 3
