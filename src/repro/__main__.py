@@ -173,25 +173,46 @@ def _emit_obs(
         print(f"# appended run report to {args.run_log}", file=sys.stderr)
 
 
-def _resolve_dataset(engine, path: str, require_index: bool):
+def _resolve_dataset(
+    engine,
+    path: str,
+    require_index: bool,
+    on_error: str = "raise",
+    strict: bool = True,
+):
     """Resolve a CLI input into a dataset: index directory or data file."""
+    from repro.resilience import QuarantineReport
+
     p = Path(path)
-    if p.is_dir() and not (p / "manifest.json").exists():
+    if p.is_dir() and not (p / "manifest.json").exists() and on_error != "rebuild":
         raise SystemExit(f"{path}: directory is not a dataset index (no manifest.json)")
     if require_index and not p.is_dir():
         raise SystemExit(f"{path}: --index requires a dataset index directory "
                          f"(build one with: python -m repro build-index {path} --index DIR)")
+    quarantine = QuarantineReport()
     try:
-        return engine.dataset(p)
+        dataset = engine.dataset(
+            p, on_error=on_error, strict=strict, quarantine=quarantine
+        )
     except (StoreError, ValueError) as exc:
         raise SystemExit(f"{path}: {exc}") from exc
+    if quarantine:
+        for line in quarantine.render().splitlines():
+            print(f"# {line}", file=sys.stderr)
+    return dataset
 
 
 def cmd_join(args: argparse.Namespace) -> int:
     _setup_obs(args)
     engine = default_engine()
-    rd = _resolve_dataset(engine, args.r, args.index)
-    sd = _resolve_dataset(engine, args.s, args.index)
+    rd = _resolve_dataset(
+        engine, args.r, args.index,
+        on_error=args.on_index_error, strict=not args.quarantine,
+    )
+    sd = _resolve_dataset(
+        engine, args.s, args.index,
+        on_error=args.on_index_error, strict=not args.quarantine,
+    )
     predicate = _predicate(args.predicate) if args.predicate else None
     try:
         run = engine.join(
@@ -203,6 +224,8 @@ def cmd_join(args: argparse.Namespace) -> int:
             predicate=predicate,
             workers=args.workers,
             include_disjoint=args.include_disjoint,
+            partition_timeout=args.partition_timeout,
+            max_retries=args.max_retries,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
@@ -235,17 +258,24 @@ def cmd_join(args: argparse.Namespace) -> int:
 
 
 def cmd_build_index(args: argparse.Namespace) -> int:
+    from repro.resilience import QuarantineReport
     from repro.store import build_dataset
 
+    quarantine = QuarantineReport()
     try:
         dataset = build_dataset(
             args.data,
             args.index,
             grid_order=None if args.no_approximate else args.grid_order,
             workers=args.workers,
+            strict=not args.quarantine,
+            quarantine=quarantine,
         )
     except (StoreError, ValueError) as exc:
         raise SystemExit(f"{args.data}: {exc}") from exc
+    if quarantine:
+        for line in quarantine.render().splitlines():
+            print(f"# {line}", file=sys.stderr)
     print(f"indexed {len(dataset)} geometries into {args.index}")
     if args.no_approximate:
         print("# approximations deferred: the first join against each "
@@ -377,6 +407,26 @@ def main(argv: list[str] | None = None) -> int:
         "--progress", action="store_true",
         help="per-worker heartbeat lines on stderr during the run",
     )
+    p.add_argument(
+        "--partition-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-partition deadline for parallel runs; a partition that "
+             "exceeds it is retried, then re-executed serially (default 300)",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retries per failed/hung/crashed partition before the serial "
+             "fallback (default 2)",
+    )
+    p.add_argument(
+        "--on-index-error", default="raise", choices=["raise", "rebuild"],
+        help="what to do with an unusable dataset index: abort (default) "
+             "or rebuild it in place from its source/geometry dump",
+    )
+    p.add_argument(
+        "--quarantine", action="store_true",
+        help="skip malformed input rows (reported on stderr) instead of "
+             "aborting the load",
+    )
     p.set_defaults(func=cmd_join)
 
     p = sub.add_parser(
@@ -395,6 +445,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--workers", type=_worker_count, default=1,
         help="worker processes for rasterisation (default 1)",
+    )
+    p.add_argument(
+        "--quarantine", action="store_true",
+        help="skip malformed input rows (reported on stderr) instead of "
+             "aborting the load",
     )
     p.set_defaults(func=cmd_build_index)
 

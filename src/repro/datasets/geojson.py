@@ -62,10 +62,19 @@ def _polygon_from_rings(rings) -> Polygon:
     return Polygon(shell, holes)
 
 
-def load_geojson(source: str | Path | dict) -> list[Feature]:
+def load_geojson(
+    source: str | Path | dict,
+    strict: bool = True,
+    report=None,
+) -> list[Feature]:
     """Read a FeatureCollection / Feature / bare geometry.
 
     ``source`` may be a path, a JSON string, or an already-parsed dict.
+    ``strict=True`` (the default) aborts on the first malformed feature;
+    with ``strict=False`` bad FeatureCollection entries are skipped into
+    ``report`` (a :class:`~repro.resilience.quarantine.QuarantineReport`),
+    recorded by their 1-based feature index. A document that is not
+    valid JSON at all still raises — there is no row to salvage.
     """
     if isinstance(source, dict):
         doc = source
@@ -78,7 +87,24 @@ def load_geojson(source: str | Path | dict) -> list[Feature]:
 
     dtype = doc.get("type")
     if dtype == "FeatureCollection":
-        return [_feature_from(obj) for obj in doc.get("features", [])]
+        entries = doc.get("features", [])
+        if strict:
+            return [_feature_from(obj) for obj in entries]
+        if report is None:
+            from repro.resilience.quarantine import QuarantineReport
+
+            report = QuarantineReport(
+                source=str(source)
+                if not isinstance(source, dict) and _looks_like_path(source)
+                else "<geojson>"
+            )
+        features = []
+        for number, obj in enumerate(entries, start=1):
+            try:
+                features.append(_feature_from(obj))
+            except GeoJsonError as exc:
+                report.record(number, str(exc), json.dumps(obj, default=str))
+        return features
     if dtype == "Feature":
         return [_feature_from(doc)]
     return [Feature(geometry=geometry_from_geojson(doc))]

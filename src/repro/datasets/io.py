@@ -3,6 +3,12 @@
 A deliberately simple interchange format so generated datasets can be
 saved, inspected with any GIS tool, and reloaded byte-identically.
 Blank lines and ``#`` comments are ignored on load.
+
+Loads are strict by default — one malformed row aborts with its line
+number, as real pipelines should fail loudly on fabricated data. With
+``strict=False`` bad rows are skipped into a
+:class:`~repro.resilience.quarantine.QuarantineReport` instead, so one
+mangled row in a million-row dump costs one row, not the load.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from typing import Iterable
 
 from repro.geometry.polygon import Polygon
 from repro.geometry.wkt import dumps_wkt, loads_wkt
+from repro.resilience.failpoints import FailpointError, should_fire
+from repro.resilience.quarantine import QuarantineReport
 
 
 def save_wkt_file(path: str | Path, polygons: Iterable[Polygon], precision: int = 12) -> int:
@@ -26,9 +34,26 @@ def save_wkt_file(path: str | Path, polygons: Iterable[Polygon], precision: int 
     return count
 
 
-def load_wkt_file(path: str | Path) -> list[Polygon]:
-    """Read polygons from a WKT-per-line file written by :func:`save_wkt_file`."""
+def load_wkt_file(
+    path: str | Path,
+    strict: bool = True,
+    report: QuarantineReport | None = None,
+) -> list[Polygon]:
+    """Read polygons from a WKT-per-line file written by :func:`save_wkt_file`.
+
+    ``strict=True`` (the default) aborts on the first malformed row with
+    a ``ValueError`` carrying ``path:line_number``. With ``strict=False``
+    malformed rows are skipped and recorded in ``report`` (one is
+    created, and discarded, when the caller passes none — pass your own
+    to inspect what was dropped). The ``io.bad_row`` failpoint makes a
+    healthy row present as malformed, for chaos-testing the quarantine
+    path without fabricating broken fixtures.
+    """
     path = Path(path)
+    if report is None:
+        report = QuarantineReport(source=str(path))
+    elif not report.source:
+        report.source = str(path)
     polygons: list[Polygon] = []
     with path.open("r", encoding="utf-8") as fh:
         for line_number, line in enumerate(fh, start=1):
@@ -36,9 +61,13 @@ def load_wkt_file(path: str | Path) -> list[Polygon]:
             if not line or line.startswith("#"):
                 continue
             try:
+                if should_fire("io.bad_row", key=line_number):
+                    raise FailpointError("injected bad row (io.bad_row)")
                 polygons.extend(loads_wkt(line))
             except ValueError as exc:
-                raise ValueError(f"{path}:{line_number}: {exc}") from exc
+                if strict:
+                    raise ValueError(f"{path}:{line_number}: {exc}") from exc
+                report.record(line_number, str(exc), line)
     return polygons
 
 

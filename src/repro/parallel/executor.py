@@ -32,6 +32,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.resilience.failpoints import maybe_fail_worker
+from repro.resilience.supervisor import SupervisionReport, supervised_map
+
 from repro.filters.mbr import classify_mbr_pair
 from repro.join.mbr_join import partition_pairs_by_tile
 from repro.join.objects import SpatialObject, reset_access_tracking
@@ -81,6 +84,9 @@ class ParallelFindRun:
     wall_seconds: float
     workers: int
     partitions: int
+    #: What the supervisor had to do (retries, timeouts, fallbacks);
+    #: ``None`` for in-process runs that never forked a pool.
+    supervision: SupervisionReport | None = None
 
 
 @dataclass
@@ -93,6 +99,7 @@ class ParallelRelateRun:
     wall_seconds: float
     workers: int
     partitions: int
+    supervision: SupervisionReport | None = None
 
 
 # ----------------------------------------------------------------------
@@ -267,7 +274,9 @@ def _merge_worker_obs(payloads: Sequence[dict | None]) -> None:
             get_registry().merge(payload["metrics"])
 
 
-def _find_worker(part_index: int):
+def _find_worker(task: tuple[int, int]):
+    part_index, attempt = task
+    maybe_fail_worker(part_index, attempt)
     _worker_obs_begin()
     part = _STATE["parts"][part_index]
     with trace("partition", part=part_index, pairs=len(part)):
@@ -282,7 +291,30 @@ def _find_worker(part_index: int):
     return outcomes, stats, touched_r, touched_s, _worker_obs_export()
 
 
-def _relate_worker(part_index: int):
+def _find_fallback(part_index: int):
+    """In-parent re-execution of one poisoned find partition.
+
+    Runs the same pure computation as :func:`_find_worker` but without
+    the failpoint boundary and without swapping obs collectors: metrics
+    and spans record straight into the parent's registry/tracer, so the
+    merged totals still equal a serial run's.
+    """
+    part = _STATE["parts"][part_index]
+    with trace("partition", part=part_index, pairs=len(part), fallback=True):
+        outcomes, stats = _find_outcomes(
+            PIPELINES[_STATE["method"]],
+            _STATE["r_objects"],
+            _STATE["s_objects"],
+            part,
+            label=f"{_STATE['method']} part={part_index} (fallback)",
+        )
+    touched_r, touched_s = _find_touched(outcomes)
+    return outcomes, stats, touched_r, touched_s, None
+
+
+def _relate_worker(task: tuple[int, int]):
+    part_index, attempt = task
+    maybe_fail_worker(part_index, attempt)
     _worker_obs_begin()
     part = _STATE["parts"][part_index]
     with trace("partition", part=part_index, pairs=len(part)):
@@ -294,6 +326,20 @@ def _relate_worker(part_index: int):
             label=f"relate part={part_index}",
         )
     return matches, stats, touched_r, touched_s, _worker_obs_export()
+
+
+def _relate_fallback(part_index: int):
+    """In-parent re-execution of one poisoned relate partition."""
+    part = _STATE["parts"][part_index]
+    with trace("partition", part=part_index, pairs=len(part), fallback=True):
+        matches, stats, touched_r, touched_s = _relate_outcomes(
+            _STATE["predicate"],
+            _STATE["r_objects"],
+            _STATE["s_objects"],
+            part,
+            label=f"relate part={part_index} (fallback)",
+        )
+    return matches, stats, touched_r, touched_s, None
 
 
 # ----------------------------------------------------------------------
@@ -336,13 +382,37 @@ def _finalize_stats(
     return merged
 
 
-def _run_pool(worker, parts: list, state: dict, workers: int) -> list:
-    """Fork a pool with ``state`` installed for inheritance, map parts."""
-    ctx = multiprocessing.get_context("fork")
+def _run_pool(
+    worker,
+    serial_runner,
+    parts: list,
+    state: dict,
+    workers: int,
+    *,
+    stage: str,
+    partition_timeout: float | None = None,
+    max_retries: int | None = None,
+) -> tuple[list, SupervisionReport]:
+    """Fork a supervised pool with ``state`` installed for inheritance.
+
+    Partitions run under per-attempt deadlines with bounded retries; a
+    partition that exhausts its retries is re-executed serially in this
+    process via ``serial_runner`` (which reads the same installed
+    state, so ``_STATE`` stays populated until every path — normal,
+    retry, timeout, fallback — has finished, and is cleared on all of
+    them).
+    """
     _STATE.update(state, parts=parts)
     try:
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(worker, range(len(parts)))
+        return supervised_map(
+            worker,
+            len(parts),
+            workers=workers,
+            serial_runner=serial_runner,
+            stage=stage,
+            partition_timeout=partition_timeout,
+            max_retries=max_retries,
+        )
     finally:
         _STATE.clear()
 
@@ -356,6 +426,8 @@ def run_find_relation_parallel(
     chunk_size: int | None = None,
     partition: str = "chunks",
     tiles_per_dim: int | None = None,
+    partition_timeout: float | None = None,
+    max_retries: int | None = None,
 ) -> ParallelFindRun:
     """Find-relation over ``pairs``, fanned out across ``workers``.
 
@@ -364,6 +436,12 @@ def run_find_relation_parallel(
     for every worker count; results come back sorted by ``(i, j)``.
     Falls back to in-process execution when ``workers <= 1``, when the
     stream is trivially small, or when ``fork`` is unavailable.
+
+    Partitions run supervised: each attempt has a ``partition_timeout``
+    deadline, failed/hung/crashed partitions are retried at most
+    ``max_retries`` times, and poisoned partitions re-execute serially
+    in-parent — the merged result is identical to a serial run for any
+    failure schedule (see :mod:`repro.resilience.supervisor`).
     """
     name = pipeline if isinstance(pipeline, str) else pipeline.name
     if name not in PIPELINES:
@@ -398,7 +476,16 @@ def run_find_relation_parallel(
     with trace(
         "parallel_find", method=name, workers=workers, partitions=len(parts)
     ):
-        part_results = _run_pool(_find_worker, parts, state, workers)
+        part_results, supervision = _run_pool(
+            _find_worker,
+            _find_fallback,
+            parts,
+            state,
+            workers,
+            stage="find",
+            partition_timeout=partition_timeout,
+            max_retries=max_retries,
+        )
         _merge_worker_obs([obs for *_, obs in part_results])
     if metrics_enabled():
         registry = get_registry()
@@ -421,6 +508,7 @@ def run_find_relation_parallel(
         wall_seconds=time.perf_counter() - start,
         workers=workers,
         partitions=len(parts),
+        supervision=supervision,
     )
 
 
@@ -433,12 +521,14 @@ def run_relate_parallel(
     chunk_size: int | None = None,
     partition: str = "chunks",
     tiles_per_dim: int | None = None,
+    partition_timeout: float | None = None,
+    max_retries: int | None = None,
 ) -> ParallelRelateRun:
     """relate_p over ``pairs``, fanned out across ``workers``.
 
     Matching pairs and counters are identical to the serial
     :func:`~repro.join.pipeline.run_relate`; matches come back sorted
-    by ``(i, j)``. Same fallback rules as
+    by ``(i, j)``. Same fallback and supervision rules as
     :func:`run_find_relation_parallel`.
     """
     pairs = list(pairs)
@@ -477,7 +567,16 @@ def run_relate_parallel(
         workers=workers,
         partitions=len(parts),
     ):
-        part_results = _run_pool(_relate_worker, parts, state, workers)
+        part_results, supervision = _run_pool(
+            _relate_worker,
+            _relate_fallback,
+            parts,
+            state,
+            workers,
+            stage="relate",
+            partition_timeout=partition_timeout,
+            max_retries=max_retries,
+        )
         _merge_worker_obs([obs for *_, obs in part_results])
     if metrics_enabled():
         registry = get_registry()
@@ -503,6 +602,7 @@ def run_relate_parallel(
         wall_seconds=time.perf_counter() - start,
         workers=workers,
         partitions=len(parts),
+        supervision=supervision,
     )
 
 

@@ -7,16 +7,20 @@ installed in a module global before the pool forks (copy-on-write
 inheritance, nothing pickled per task); only the interval lists travel
 back through the result pipe.
 
-Falls back to the serial loop for ``workers <= 1``, tiny inputs,
-platforms without ``fork``, and any pool failure (e.g. approximations
-that fail to pickle) — the fallback recomputes from scratch, so the
-caller always gets the exact serial result.
+Stays serial for ``workers <= 1``, tiny inputs and platforms without
+``fork``. The fan-out itself runs under the supervised pool
+(:mod:`repro.resilience.supervisor`): a crashed or hung worker costs a
+bounded retry, and a span whose result cannot come back through the
+pipe is rebuilt serially in-parent — never silently, always counted in
+``repro_resilience_fallback_total{stage="preprocess"}`` — so the caller
+always gets the exact serial result. A genuinely broken polygon still
+raises: the serial fallback recomputes it in-parent and surfaces the
+original error.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 from typing import Sequence
 
 from repro.geometry.polygon import Polygon
@@ -24,6 +28,8 @@ from repro.obs.metrics import metrics_enabled
 from repro.obs.trace import trace
 from repro.raster.april import AprilApproximation, build_april, observe_april_metrics
 from repro.raster.grid import RasterGrid
+from repro.resilience.failpoints import maybe_fail_worker
+from repro.resilience.supervisor import supervised_map
 from repro.parallel.executor import default_workers, fork_available
 
 #: Below this input size the pool startup dominates; stay serial.
@@ -32,10 +38,16 @@ MIN_PARALLEL_POLYGONS = 8
 _STATE: dict = {}
 
 
-def _build_span(span: tuple[int, int]) -> list[AprilApproximation]:
+def _build_span_task(task: tuple[int, int]) -> list[AprilApproximation]:
+    span_index, attempt = task
+    maybe_fail_worker(span_index, attempt)
+    return _build_span(span_index)
+
+
+def _build_span(span_index: int) -> list[AprilApproximation]:
+    lo, hi = _STATE["spans"][span_index]
     grid = _STATE["grid"]
-    polygons = _STATE["polygons"]
-    return [build_april(p, grid) for p in polygons[span[0] : span[1]]]
+    return [build_april(p, grid) for p in _STATE["polygons"][lo:hi]]
 
 
 def build_april_parallel(
@@ -43,11 +55,13 @@ def build_april_parallel(
     grid: RasterGrid,
     workers: int | None = None,
     chunk_size: int | None = None,
+    partition_timeout: float | None = None,
+    max_retries: int | None = None,
 ) -> list[AprilApproximation]:
     """APRIL approximations for ``polygons``, in input order.
 
     Bit-identical to ``[build_april(p, grid) for p in polygons]`` for
-    every worker count.
+    every worker count and every worker failure schedule.
     """
     polygons = list(polygons)
     if workers is None:
@@ -66,18 +80,20 @@ def build_april_parallel(
         for k in range(0, len(polygons), chunk_size)
     ]
 
-    ctx = multiprocessing.get_context("fork")
-    _STATE.update(polygons=polygons, grid=grid)
+    _STATE.update(polygons=polygons, grid=grid, spans=spans)
     try:
         with trace(
             "build_april_parallel", count=len(polygons), workers=workers
         ):
-            with ctx.Pool(processes=workers) as pool:
-                parts = pool.map(_build_span, spans)
-    except Exception:
-        # Non-picklable results or pool breakage: redo serially. A
-        # genuinely broken polygon re-raises the same error here.
-        return [build_april(p, grid) for p in polygons]
+            parts, _ = supervised_map(
+                _build_span_task,
+                len(spans),
+                workers=workers,
+                serial_runner=_build_span,
+                stage="preprocess",
+                partition_timeout=partition_timeout,
+                max_retries=max_retries,
+            )
     finally:
         _STATE.clear()
     approximations = [approx for part in parts for approx in part]

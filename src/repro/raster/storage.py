@@ -8,13 +8,26 @@ collection of any size loads with a handful of numpy reads and zero
 per-object parsing.
 
 Every load is validated: a payload with an unknown format version, a
-missing array, or — when the caller states the grid it is about to join
-on — a mismatched grid raises a typed :class:`StoreError` instead of
-silently yielding approximations that would compare garbage intervals.
+missing array, a torn/truncated archive, or — when the caller states
+the grid it is about to join on — a mismatched grid raises a typed
+:class:`StoreError` instead of silently yielding approximations that
+would compare garbage intervals. Callers that can rebuild pass
+``on_error="rebuild"`` to get ``None`` back instead of the exception.
+
+Writes are crash-safe: the payload is serialised in memory and lands
+via :func:`repro.resilience.atomic.atomic_writer`, so a process killed
+mid-persist leaves either the previous complete payload or none at all
+— never a torn ``.npz``. The ``store.torn_write`` failpoint simulates
+exactly the pre-atomic failure (a truncated archive at the final path)
+for chaos tests.
 """
 
 from __future__ import annotations
 
+import io
+import logging
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Sequence
 
@@ -24,6 +37,10 @@ from repro.geometry.box import Box
 from repro.raster.april import AprilApproximation
 from repro.raster.grid import RasterGrid
 from repro.raster.intervals import IntervalList
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.failpoints import should_fire
+
+log = logging.getLogger("repro.resilience")
 
 _FORMAT_VERSION = 1
 
@@ -65,20 +82,32 @@ def save_approximations(
     c_off, c_starts, c_ends = pack([a.c for a in approximations])
 
     ds = grid.dataspace
+    buffer = io.BytesIO()
     np.savez_compressed(
-        Path(path),
+        buffer,
         version=np.int64(_FORMAT_VERSION),
         grid_order=np.int64(grid.order),
         dataspace=np.array([ds.xmin, ds.ymin, ds.xmax, ds.ymax]),
         p_offsets=p_off, p_starts=p_starts, p_ends=p_ends,
         c_offsets=c_off, c_starts=c_starts, c_ends=c_ends,
     )
+    payload = buffer.getvalue()
+    path = Path(path)
+    if should_fire("store.torn_write", key=path.name):
+        # Simulate the pre-atomic failure mode: a process killed halfway
+        # through a direct write leaves a truncated archive at the final
+        # path. Chaos tests then verify that the *next* load detects the
+        # torn payload and rebuilds instead of crashing or joining on it.
+        path.write_bytes(payload[: max(1, len(payload) // 2)])
+        return
+    atomic_write_bytes(path, payload)
 
 
 def load_approximations(
     path: str | Path,
     expected_grid: RasterGrid | None = None,
-) -> list[AprilApproximation]:
+    on_error: str = "raise",
+) -> list[AprilApproximation] | None:
     """Read approximations written by :func:`save_approximations`.
 
     When ``expected_grid`` is given, the payload's recorded grid must
@@ -87,9 +116,34 @@ def load_approximations(
     copied ``.npz`` silently produces approximations whose Hilbert ids
     mean different cells than the join's grid, corrupting every filter
     verdict downstream.
+
+    Any unusable payload — torn archive, missing array, version or grid
+    mismatch — raises :class:`StoreError` by default. With
+    ``on_error="rebuild"`` it returns ``None`` instead, telling the
+    caller to rebuild the payload from the geometries.
     """
-    path = Path(path)
-    with np.load(path) as data:
+    if on_error not in ("raise", "rebuild"):
+        raise ValueError(f"on_error must be 'raise' or 'rebuild', got {on_error!r}")
+    try:
+        return _read_payload(Path(path), expected_grid)
+    except StoreError as exc:
+        if on_error == "rebuild":
+            log.warning("unusable approximation payload, rebuilding: %s", exc)
+            return None
+        raise
+
+
+def _read_payload(
+    path: Path, expected_grid: RasterGrid | None
+) -> list[AprilApproximation]:
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        # A torn write (process killed mid-persist before PR 8's atomic
+        # writes, or a truncated copy) surfaces here as BadZipFile /
+        # EOFError / "cannot load" ValueError.
+        raise StoreError(f"{path}: corrupt approximation file: {exc}") from exc
+    with archive as data:
         try:
             version = int(data["version"])
             if version != _FORMAT_VERSION:
@@ -118,8 +172,14 @@ def load_approximations(
 
             p_lists = unpack("p")
             c_lists = unpack("c")
+        except StoreError:
+            raise
         except KeyError as exc:
             raise StoreError(f"{path}: corrupt approximation file: missing {exc}") from exc
+        except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+            # Member decompression of a torn archive fails lazily, while
+            # the arrays are being read — not at np.load time.
+            raise StoreError(f"{path}: corrupt approximation file: {exc}") from exc
 
     if len(p_lists) != len(c_lists):
         raise StoreError(f"{path}: corrupt approximation file: P/C counts differ")

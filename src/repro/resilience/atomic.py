@@ -1,0 +1,67 @@
+"""Crash-safe file writes: tmp + fsync + atomic rename.
+
+A process killed mid-``write()`` leaves a truncated file at the final
+path — and a truncated ``april/*.npz`` poisons every warm join against
+that index until someone deletes it by hand. Writing to a sibling
+temporary file, fsyncing it, and ``os.replace``-ing it into place makes
+every store artifact either the complete old version or the complete
+new version, never a torn middle state. The directory entry is fsynced
+too (best effort), so the rename itself survives power loss on POSIX
+filesystems.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist the directory entry after a rename (best effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(path: str | Path, mode: str = "wb"):
+    """Yield a file object whose contents replace ``path`` atomically.
+
+    The data is written to ``<path>.tmp.<pid>`` in the same directory,
+    flushed and fsynced, then renamed over the destination. On any
+    error the temporary is removed and the destination is untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        fh.close()
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    with atomic_writer(path, "wb") as fh:
+        fh.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_writer"]

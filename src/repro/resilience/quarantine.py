@@ -1,0 +1,83 @@
+"""Typed quarantine for malformed input rows.
+
+One bad row in a million-row WKT dump should cost one skipped row, not
+the whole load. In lenient mode the dataset loaders route each
+unparsable row here instead of raising: the row's number, the reason it
+was rejected, and a short snippet are recorded in a
+:class:`QuarantineReport` the caller can log, print, or assert on.
+Strict mode (the default everywhere) keeps the historical
+abort-with-line-number behaviour.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+log = logging.getLogger("repro.resilience")
+
+_SNIPPET_LEN = 80
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One rejected input row."""
+
+    line_number: int
+    reason: str
+    snippet: str
+
+
+@dataclass
+class QuarantineReport:
+    """Every row a lenient load skipped, with provenance."""
+
+    source: str = ""
+    rows: list[QuarantinedRow] = field(default_factory=list)
+
+    def record(self, line_number: int, reason: str, text: str) -> None:
+        snippet = text[:_SNIPPET_LEN] + ("…" if len(text) > _SNIPPET_LEN else "")
+        self.rows.append(QuarantinedRow(line_number, reason, snippet))
+        log.warning(
+            "quarantined %s:%d: %s", self.source or "<input>", line_number, reason
+        )
+        self._observe()
+
+    def _observe(self) -> None:
+        from repro.obs.metrics import get_registry, metrics_enabled
+
+        if metrics_enabled():
+            get_registry().inc(
+                "repro_resilience_quarantined_rows_total",
+                source=self.source or "<input>",
+            )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def render(self) -> str:
+        """A human-readable summary, one line per quarantined row."""
+        head = f"{len(self.rows)} row(s) quarantined from {self.source or '<input>'}"
+        lines = [
+            f"  line {r.line_number}: {r.reason} [{r.snippet}]" for r in self.rows
+        ]
+        return "\n".join([head, *lines])
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "rows": [
+                {
+                    "line_number": r.line_number,
+                    "reason": r.reason,
+                    "snippet": r.snippet,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+__all__ = ["QuarantineReport", "QuarantinedRow"]

@@ -1,0 +1,319 @@
+"""Supervised fan-out: a ``pool.map`` that survives its workers.
+
+A bare ``Pool.map`` has three failure modes that all end the same way —
+a join that never returns: a worker OOM-killed mid-task leaves its
+``AsyncResult`` unresolved forever, a worker stuck in a pathological
+refinement hangs the barrier, and a task whose result cannot travel the
+pipe poisons the whole map call. :func:`supervised_map` replaces the
+barrier with per-task supervision:
+
+- every task gets its own **deadline** (``partition_timeout`` seconds
+  per attempt, measured from dispatch);
+- worker processes are **polled for deaths** (pid watching on the
+  pool's process table, cross-checked against per-task start
+  acknowledgements sent through a fork-inherited sentinel queue); a
+  detected death immediately fails exactly the task the dead worker
+  was running instead of waiting out its deadline;
+- failed tasks are **retried** with exponential backoff, at most
+  ``max_retries`` times, re-dispatched to the (auto-repopulated) pool;
+- tasks that exhaust their retries fall back to **in-parent serial
+  re-execution** — slower but isolated from every worker pathology —
+  so the merged result is complete for *any* failure schedule.
+
+Tasks must be idempotent and side-effect free (the executor's partition
+workers are pure functions of inherited state): a speculative retry may
+race its hung predecessor, and the first accepted result per task wins;
+late duplicates are discarded unread, which keeps per-worker metric
+payloads exactly-once.
+
+Everything is observable: retries, timeouts, worker deaths and serial
+fallbacks surface as ``repro_resilience_*`` counters (when metrics are
+on) and are summarised in the returned :class:`SupervisionReport`.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import trace
+from repro.resilience import failpoints
+
+log = logging.getLogger("repro.resilience")
+
+#: Default per-attempt deadline. Generous — it is a hang backstop, not
+#: a performance target — but finite, so no schedule blocks forever.
+DEFAULT_PARTITION_TIMEOUT = 300.0
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class SupervisionReport:
+    """What the supervisor had to do to complete one fan-out."""
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    worker_errors: int = 0
+    fallbacks: int = 0
+    #: Task indexes that ended in the serial fallback.
+    fallback_tasks: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.retries == 0 and self.fallbacks == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_deaths": self.worker_deaths,
+            "worker_errors": self.worker_errors,
+            "fallbacks": self.fallbacks,
+            "fallback_tasks": list(self.fallback_tasks),
+        }
+
+
+def _observe(name: str, value: int = 1, **labels) -> None:
+    if metrics_enabled():
+        get_registry().inc(name, value, **labels)
+
+
+@dataclass
+class _Attempt:
+    async_result: object
+    attempt: int
+    deadline: float | None
+    dispatched: float
+
+
+#: Start-acknowledgement queue, installed in the parent immediately
+#: before the pool forks so workers inherit it. Each task announces
+#: ``(index, attempt, pid)`` as its first action, which lets the parent
+#: map a disappeared pid to exactly the task it was running — even for
+#: worker generations born and killed entirely between two polls.
+_ACK = None
+
+
+def _acked_worker(payload):
+    worker, task = payload
+    if _ACK is not None:
+        _ACK.put((task[0], task[1], os.getpid()))
+    return worker(task)
+
+
+def _kill_hung_worker(running: dict, index: int, attempt: int) -> None:
+    """SIGKILL the worker running a timed-out attempt, if known.
+
+    A hung worker would otherwise occupy its pool slot until the pool
+    is torn down, starving the very retries meant to replace its task;
+    killing it makes the pool repopulate a fresh worker immediately.
+    The ack map is pruned so the ensuing death is not double-counted.
+    """
+    for pid, task in list(running.items()):
+        if task == (index, attempt):
+            running.pop(pid)
+            try:
+                os.kill(pid, 9)  # signal.SIGKILL
+            except (OSError, ProcessLookupError):
+                pass
+            return
+
+
+def supervised_map(
+    worker: Callable,
+    task_count: int,
+    *,
+    workers: int,
+    serial_runner: Callable[[int], object],
+    stage: str,
+    partition_timeout: float | None = None,
+    max_retries: int | None = None,
+    backoff: float = DEFAULT_BACKOFF,
+) -> tuple[list, SupervisionReport]:
+    """Run ``worker((index, attempt))`` for every task index, supervised.
+
+    Returns ``(results, report)`` with ``results`` index-aligned —
+    exactly what ``pool.map(worker, range(task_count))`` would return on
+    a healthy pool, whatever the workers did. The caller is responsible
+    for installing any fork-inherited state *before* calling and
+    clearing it *after* (the serial fallback reads the same state, so
+    it must stay installed for the duration).
+    """
+    if partition_timeout is None:
+        partition_timeout = DEFAULT_PARTITION_TIMEOUT
+    if max_retries is None:
+        max_retries = DEFAULT_MAX_RETRIES
+    if partition_timeout <= 0:
+        raise ValueError(f"partition_timeout must be positive, got {partition_timeout}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+
+    report = SupervisionReport(tasks=task_count)
+    results: list = [None] * task_count
+    if task_count == 0:
+        return results, report
+
+    # Arm env-specified failpoints in the parent *before* the fork so
+    # workers inherit both the sites and the parent's arming pid.
+    failpoints._ensure_env_loaded()
+
+    global _ACK
+    ctx = multiprocessing.get_context("fork")
+    fallback: list[int] = []
+    _ACK = ctx.SimpleQueue()
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            clock = time.monotonic
+
+            def dispatch(index: int, attempt: int) -> _Attempt:
+                now = clock()
+                return _Attempt(
+                    async_result=pool.apply_async(
+                        _acked_worker, ((worker, (index, attempt)),)
+                    ),
+                    attempt=attempt,
+                    deadline=now + partition_timeout,
+                    dispatched=now,
+                )
+
+            pending: dict[int, _Attempt] = {
+                k: dispatch(k, 1) for k in range(task_count)
+            }
+            #: index -> (next attempt, not-before time): backoff queue.
+            waiting: dict[int, tuple[int, float]] = {}
+            #: pid -> (index, attempt) last acknowledged as running there.
+            running: dict[int, tuple[int, int]] = {}
+            #: Timed-out attempts whose execution may still be sitting
+            #: in the pool's task queue (they expired before ever
+            #: starting). If one later starts and is hung, it would
+            #: silently occupy a pool slot and starve the retries
+            #: dispatched to replace it.
+            stale: set[tuple[int, int]] = set()
+            #: Discarded async results of timed-out attempts, so a
+            #: stale execution that *completed* can be told apart from
+            #: one that is hung.
+            orphans: dict[tuple[int, int], object] = {}
+            #: pid -> (kill-at time, task) for stale executions that
+            #: did start. The kill is deferred a full
+            #: ``partition_timeout`` from their start-ack and skipped
+            #: if the orphan result arrived: SIGKILLing a worker that
+            #: might be mid-operation on a shared pool queue can
+            #: corrupt the queue's lock and deadlock the pool, so only
+            #: provably overdue — hence hung inside the task body —
+            #: workers are shot.
+            doomed: dict[int, tuple[float, tuple[int, int]]] = {}
+
+            def fail(index: int, kind: str) -> None:
+                att = pending.pop(index)
+                if kind == "timeout":
+                    stale.add((index, att.attempt))
+                    orphans[(index, att.attempt)] = att.async_result
+                if att.attempt > max_retries:
+                    report.fallbacks += 1
+                    report.fallback_tasks.append(index)
+                    fallback.append(index)
+                    _observe("repro_resilience_fallback_total", stage=stage)
+                    log.warning(
+                        "%s task %d failed attempt %d (%s); falling back to serial",
+                        stage, index, att.attempt, kind,
+                    )
+                else:
+                    report.retries += 1
+                    delay = backoff * (2 ** (att.attempt - 1))
+                    waiting[index] = (att.attempt + 1, clock() + delay)
+                    _observe("repro_resilience_retry_total", stage=stage, kind=kind)
+                    log.warning(
+                        "%s task %d attempt %d failed (%s); retrying in %.3fs",
+                        stage, index, att.attempt, kind, delay,
+                    )
+
+            while pending or waiting:
+                progressed = False
+                now = clock()
+                # Collect finished attempts; expire blown deadlines.
+                for index, att in list(pending.items()):
+                    if att.async_result.ready():
+                        progressed = True
+                        try:
+                            results[index] = att.async_result.get()
+                            del pending[index]
+                        except Exception:
+                            report.worker_errors += 1
+                            fail(index, "error")
+                    elif att.deadline is not None and now > att.deadline:
+                        progressed = True
+                        report.timeouts += 1
+                        _kill_hung_worker(running, index, att.attempt)
+                        fail(index, "timeout")
+                # Drain start-acks, then reap: a pid that acknowledged a
+                # still-pending attempt but no longer appears in the
+                # pool's (auto-repopulated) process table died mid-task.
+                while not _ACK.empty():
+                    index, attempt, pid = _ACK.get()
+                    running[pid] = (index, attempt)
+                    doomed.pop(pid, None)
+                    if (index, attempt) in stale:
+                        stale.discard((index, attempt))
+                        doomed[pid] = (clock() + partition_timeout, (index, attempt))
+                for pid, (kill_at, task) in list(doomed.items()):
+                    if now < kill_at:
+                        continue
+                    del doomed[pid]
+                    orphan = orphans.pop(task, None)
+                    if orphan is not None and orphan.ready():
+                        continue  # completed on its own; worker is healthy
+                    running.pop(pid, None)
+                    try:
+                        os.kill(pid, 9)  # signal.SIGKILL
+                    except (OSError, ProcessLookupError):
+                        pass
+                alive = {p.pid for p in pool._pool if p.is_alive()}
+                for pid in list(running):
+                    if pid in alive:
+                        continue
+                    index, attempt = running.pop(pid)
+                    doomed.pop(pid, None)
+                    att = pending.get(index)
+                    if att is not None and att.attempt == attempt:
+                        report.worker_deaths += 1
+                        _observe(
+                            "repro_resilience_worker_deaths_total", stage=stage
+                        )
+                        fail(index, "death")
+                        progressed = True
+                # Re-dispatch retries whose backoff has elapsed.
+                for index, (attempt, not_before) in list(waiting.items()):
+                    if now >= not_before:
+                        del waiting[index]
+                        pending[index] = dispatch(index, attempt)
+                        progressed = True
+                if not progressed:
+                    time.sleep(_POLL_INTERVAL)
+            # Pool __exit__ terminates remaining (hung or healthy) workers.
+    finally:
+        queue, _ACK = _ACK, None
+        queue.close()
+
+    for index in fallback:
+        with trace("serial_fallback", stage=stage, task=index):
+            results[index] = serial_runner(index)
+    return results, report
+
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_PARTITION_TIMEOUT",
+    "SupervisionReport",
+    "supervised_map",
+]

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+import logging
 import struct
 import time
 from functools import cached_property
@@ -48,6 +48,10 @@ from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import trace
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.raster.storage import StoreError, load_approximations, save_approximations
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.quarantine import QuarantineReport
+
+log = logging.getLogger("repro.resilience")
 
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "manifest.json"
@@ -98,24 +102,56 @@ def _observe_build(what: str, seconds: float) -> None:
         get_registry().observe("repro_store_build_seconds", seconds, what=what)
 
 
+def _observe_rebuild(artifact: str) -> None:
+    if metrics_enabled():
+        get_registry().inc("repro_resilience_rebuild_total", artifact=artifact)
+
+
 # ----------------------------------------------------------------------
 # source loading
 # ----------------------------------------------------------------------
-def load_geometry_file(path: str | Path) -> list[Polygon]:
-    """Load the polygonal geometries of a ``.wkt`` or ``.geojson`` file."""
+def load_geometry_file(
+    path: str | Path,
+    strict: bool = True,
+    quarantine: QuarantineReport | None = None,
+) -> list[Polygon]:
+    """Load the polygonal geometries of a ``.wkt`` or ``.geojson`` file.
+
+    ``strict=True`` (the default) aborts on the first malformed row;
+    with ``strict=False`` malformed rows are skipped into ``quarantine``
+    (see :mod:`repro.resilience.quarantine`) and the healthy remainder
+    is returned.
+    """
     from repro.datasets.geojson import load_geojson
     from repro.datasets.io import load_wkt_file
     from repro.geometry.multipolygon import MultiPolygon
 
     p = Path(path)
+    if quarantine is not None and not quarantine.source:
+        quarantine.source = str(p)
     if p.suffix.lower() in (".geojson", ".json"):
-        geometries = [f.geometry for f in load_geojson(p)]
+        geometries = [
+            f.geometry for f in load_geojson(p, strict=strict, report=quarantine)
+        ]
     else:
-        geometries = load_wkt_file(p)
+        geometries = load_wkt_file(p, strict=strict, report=quarantine)
     areal = [g for g in geometries if isinstance(g, (Polygon, MultiPolygon))]
     if not areal:
         raise ValueError(f"{path}: no polygonal geometries found")
     return areal
+
+
+def _read_geometry_dump(path: Path) -> list:
+    """Read a canonical ``geometries.wkt`` dump (one WKT per line)."""
+    if not path.exists():
+        raise StoreError(f"{path.parent}: index has no {path.name}")
+    geometries = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                geometries.append(loads_wkt_geometry(line))
+    return geometries
 
 
 # ----------------------------------------------------------------------
@@ -187,19 +223,38 @@ class SpatialDataset:
             return None
         return self.path / APRIL_DIR / (grid_key(grid) + ".npz")
 
-    def approximations(self, grid: RasterGrid, workers: int | None = 1) -> list:
+    def approximations(
+        self,
+        grid: RasterGrid,
+        workers: int | None = 1,
+        on_error: str = "rebuild",
+    ) -> list:
         """APRIL lists for every geometry on ``grid`` — loaded from the
         index when a valid payload exists, built (and, for persistent
-        datasets, written back) otherwise."""
+        datasets, written back) otherwise.
+
+        A payload that exists but cannot be used — torn by a crashed
+        writer, built on a different grid, or counting a different
+        number of geometries — is rebuilt from the geometries by
+        default (counted in ``repro_resilience_rebuild_total``);
+        ``on_error="raise"`` surfaces the :class:`StoreError` instead.
+        """
+        if on_error not in ("raise", "rebuild"):
+            raise ValueError(f"on_error must be 'raise' or 'rebuild', got {on_error!r}")
         payload = self.approximation_path(grid)
         if payload is not None and payload.exists():
-            try:
-                aprils = load_approximations(payload, expected_grid=grid)
-                if len(aprils) == len(self.geometries):
-                    _observe_cache("april_payload", "hit")
-                    return aprils
-            except StoreError:
-                pass  # stale or foreign payload: rebuild below
+            aprils = load_approximations(payload, expected_grid=grid, on_error=on_error)
+            if aprils is not None and len(aprils) == len(self.geometries):
+                _observe_cache("april_payload", "hit")
+                return aprils
+            if aprils is not None and on_error == "raise":
+                raise StoreError(
+                    f"{payload}: payload counts {len(aprils)} geometries, "
+                    f"dataset has {len(self.geometries)}"
+                )
+            # Unusable payload (torn archive, foreign grid, stale count):
+            # rebuild from the geometries and overwrite it below.
+            _observe_rebuild("april_payload")
         if payload is not None:
             _observe_cache("april_payload", "miss")
         aprils = self._build_approximations(grid, workers)
@@ -237,9 +292,9 @@ class SpatialDataset:
 
     def _write_manifest(self, manifest: dict) -> None:
         assert self.path is not None
-        tmp = self.path / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp, self.path / MANIFEST_NAME)
+        atomic_write_text(
+            self.path / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+        )
 
     def _register_payload(self, grid: RasterGrid, payload: Path) -> None:
         """Record a freshly written payload in the manifest catalog."""
@@ -266,9 +321,7 @@ class SpatialDataset:
         index_dir = Path(index_dir)
         index_dir.mkdir(parents=True, exist_ok=True)
         lines = [dumps_wkt(g, precision=_WKT_PRECISION) for g in self.geometries]
-        (index_dir / GEOMETRY_NAME).write_text(
-            "\n".join(lines) + "\n", encoding="utf-8"
-        )
+        atomic_write_text(index_dir / GEOMETRY_NAME, "\n".join(lines) + "\n")
         persistent = SpatialDataset(
             self.geometries,
             name=self.name,
@@ -281,7 +334,10 @@ class SpatialDataset:
 
     @classmethod
     def open(
-        cls, index_dir: str | Path, source: str | Path | None = None
+        cls,
+        index_dir: str | Path,
+        source: str | Path | None = None,
+        on_error: str = "raise",
     ) -> "SpatialDataset":
         """Load a dataset from its index directory.
 
@@ -290,7 +346,28 @@ class SpatialDataset:
         match the recorded content hash, or when ``source`` is given
         and its bytes no longer match the recorded fingerprint (the
         index is stale; rebuild it).
+
+        With ``on_error="rebuild"`` an unusable index is repaired in
+        place instead: rebuilt from ``source`` when one is given and
+        readable, else re-manifested from a readable ``geometries.wkt``
+        dump; only when neither recovery works does the original
+        :class:`StoreError` propagate. Every repair is counted in
+        ``repro_resilience_rebuild_total{artifact="dataset_index"}``.
         """
+        if on_error not in ("raise", "rebuild"):
+            raise ValueError(f"on_error must be 'raise' or 'rebuild', got {on_error!r}")
+        try:
+            return cls._open_strict(index_dir, source)
+        except StoreError as exc:
+            if on_error == "raise":
+                raise
+            log.warning("unusable dataset index, rebuilding: %s", exc)
+            return cls._rebuild_index(Path(index_dir), source, exc)
+
+    @classmethod
+    def _open_strict(
+        cls, index_dir: str | Path, source: str | Path | None
+    ) -> "SpatialDataset":
         index_dir = Path(index_dir)
         manifest_path = index_dir / MANIFEST_NAME
         if not manifest_path.exists():
@@ -312,12 +389,7 @@ class SpatialDataset:
                     f"{index_dir}: stale index — {source} has changed since the "
                     "index was built (content-hash mismatch); rebuild the index"
                 )
-        geometries = []
-        with (index_dir / GEOMETRY_NAME).open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    geometries.append(loads_wkt_geometry(line))
+        geometries = _read_geometry_dump(index_dir / GEOMETRY_NAME)
         if len(geometries) != manifest.get("count"):
             raise StoreError(
                 f"{index_dir}: corrupt index — {len(geometries)} geometries stored, "
@@ -338,6 +410,40 @@ class SpatialDataset:
         return dataset
 
     @classmethod
+    def _rebuild_index(
+        cls, index_dir: Path, source: str | Path | None, cause: StoreError
+    ) -> "SpatialDataset":
+        """Repair an unusable index in place (``on_error="rebuild"``).
+
+        Prefers the source file — it is the ground truth and covers every
+        corruption, including a lost geometry dump; falls back to
+        re-manifesting a readable ``geometries.wkt``. Re-raises ``cause``
+        when neither exists intact.
+        """
+        if source is not None and Path(source).exists():
+            src = Path(source)
+            dataset = cls(
+                load_geometry_file(src),
+                name=src.stem,
+                source=src,
+                source_sha256=file_sha256(src),
+            )
+            persistent = dataset.save(index_dir)
+            _observe_rebuild("dataset_index")
+            return persistent
+        geometry_path = index_dir / GEOMETRY_NAME
+        if geometry_path.exists():
+            try:
+                geometries = _read_geometry_dump(geometry_path)
+            except (StoreError, ValueError):
+                raise cause
+            if geometries:
+                persistent = cls(geometries, name=index_dir.name).save(index_dir)
+                _observe_rebuild("dataset_index")
+                return persistent
+        raise cause
+
+    @classmethod
     def from_polygons(
         cls, polygons: Sequence[Polygon], name: str = "memory"
     ) -> "SpatialDataset":
@@ -355,6 +461,8 @@ def build_dataset(
     grid_order: int | None = None,
     workers: int | None = 1,
     name: str | None = None,
+    strict: bool = True,
+    quarantine: QuarantineReport | None = None,
 ) -> SpatialDataset:
     """Build a persistent index for a ``.wkt``/``.geojson`` source file.
 
@@ -365,7 +473,7 @@ def build_dataset(
     """
     source = Path(source)
     t0 = time.perf_counter()
-    geometries = load_geometry_file(source)
+    geometries = load_geometry_file(source, strict=strict, quarantine=quarantine)
     dataset = SpatialDataset(
         geometries,
         name=name or source.stem,
@@ -380,10 +488,12 @@ def build_dataset(
 
 
 def open_dataset(
-    index_dir: str | Path, source: str | Path | None = None
+    index_dir: str | Path,
+    source: str | Path | None = None,
+    on_error: str = "raise",
 ) -> SpatialDataset:
     """Open a persisted dataset index (see :meth:`SpatialDataset.open`)."""
-    return SpatialDataset.open(index_dir, source=source)
+    return SpatialDataset.open(index_dir, source=source, on_error=on_error)
 
 
 __all__ = [

@@ -117,7 +117,14 @@ class Engine:
     # ------------------------------------------------------------------
     # dataset resolution
     # ------------------------------------------------------------------
-    def dataset(self, source) -> SpatialDataset:
+    def dataset(
+        self,
+        source,
+        *,
+        on_error: str = "raise",
+        strict: bool = True,
+        quarantine=None,
+    ) -> SpatialDataset:
         """Resolve ``source`` into a (possibly cached) dataset.
 
         Accepts a :class:`SpatialDataset` (returned as-is), a path to an
@@ -127,25 +134,34 @@ class Engine:
         index, the file bytes for a source file, the geometry content
         hash for in-memory inputs — so mutating the source invalidates
         the entry instead of serving stale geometry.
+
+        ``on_error="rebuild"`` repairs an unusable index directory in
+        place (see :meth:`SpatialDataset.open`); ``strict=False`` loads
+        geometry files leniently, skipping malformed rows into
+        ``quarantine`` (the lenient flag is part of the cache key, and a
+        cache hit leaves ``quarantine`` untouched — rows are only
+        quarantined when the file is actually parsed).
         """
         if isinstance(source, SpatialDataset):
             return source
         if isinstance(source, (str, Path)):
             path = Path(source)
             if path.is_dir():
-                key = ("index", str(path.resolve()), file_sha256(path / MANIFEST_NAME))
+                manifest = path / MANIFEST_NAME
+                fingerprint = file_sha256(manifest) if manifest.exists() else "absent"
+                key = ("index", str(path.resolve()), fingerprint)
                 cached = self._datasets.get(key)
                 if cached is None:
-                    cached = SpatialDataset.open(path)
+                    cached = SpatialDataset.open(path, on_error=on_error)
                     self._datasets.put(key, cached)
                 return cached
-            key = ("file", str(path.resolve()), file_sha256(path))
+            key = ("file", str(path.resolve()), file_sha256(path), strict)
             cached = self._datasets.get(key)
             if cached is None:
                 from repro.store.dataset import load_geometry_file
 
                 cached = SpatialDataset(
-                    load_geometry_file(path),
+                    load_geometry_file(path, strict=strict, quarantine=quarantine),
                     name=path.stem,
                     source=path,
                     source_sha256=key[2],
@@ -242,6 +258,10 @@ class Engine:
         partition: str = "chunks",
         tiles_per_dim: int | None = None,
         workdir: str | Path | None = None,
+        partition_timeout: float | None = None,
+        max_retries: int | None = None,
+        on_index_error: str = "raise",
+        strict: bool = True,
     ) -> JoinRun:
         """Join ``r`` with ``s`` and return one :class:`JoinRun`,
         whatever the execution mode.
@@ -251,6 +271,14 @@ class Engine:
         ``"disk"`` runs the out-of-core PBSM join (``workdir`` holds
         the partition files; a temporary directory when omitted).
         ``predicate`` switches from find-relation to a relate_p join.
+
+        Fault-tolerance knobs: ``partition_timeout``/``max_retries``
+        bound the supervised parallel fan-out (see
+        :mod:`repro.resilience.supervisor`); ``on_index_error="rebuild"``
+        repairs unusable index directories instead of raising;
+        ``strict=False`` quarantines malformed source-file rows instead
+        of aborting (the skipped rows land in
+        ``run.meta["quarantine"]``).
         """
         if method not in PIPELINES:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
@@ -258,8 +286,16 @@ class Engine:
             raise ValueError(f"unknown mode {mode!r}; available: {list(MODES)}")
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        rd = self.dataset(r)
-        sd = self.dataset(s)
+        from repro.resilience.quarantine import QuarantineReport
+
+        r_quarantine = QuarantineReport()
+        s_quarantine = QuarantineReport()
+        rd = self.dataset(
+            r, on_error=on_index_error, strict=strict, quarantine=r_quarantine
+        )
+        sd = self.dataset(
+            s, on_error=on_index_error, strict=strict, quarantine=s_quarantine
+        )
         if mode == "disk":
             if predicate is not None:
                 raise ValueError("disk mode does not support relate_p predicates")
@@ -290,10 +326,15 @@ class Engine:
                 chunk_size=chunk_size,
                 partition=partition,
                 tiles_per_dim=tiles_per_dim,
+                partition_timeout=partition_timeout,
+                max_retries=max_retries,
             )
         run.meta.update(
             r=rd.name, s=sd.name, r_count=len(rd), s_count=len(sd), grid_order=grid_order
         )
+        quarantined = [q.to_dict() for q in (r_quarantine, s_quarantine) if q]
+        if quarantined:
+            run.meta["quarantine"] = quarantined
         return run
 
     def execute(
@@ -310,6 +351,8 @@ class Engine:
         chunk_size: int | None = None,
         partition: str = "chunks",
         tiles_per_dim: int | None = None,
+        partition_timeout: float | None = None,
+        max_retries: int | None = None,
     ) -> JoinRun:
         """Run one verification pass over prepared objects and pairs.
 
@@ -334,6 +377,8 @@ class Engine:
                 chunk_size=chunk_size,
                 partition=partition,
                 tiles_per_dim=tiles_per_dim,
+                partition_timeout=partition_timeout,
+                max_retries=max_retries,
             )
             return JoinRun(
                 results=[
@@ -372,6 +417,8 @@ class Engine:
                 chunk_size=chunk_size,
                 partition=partition,
                 tiles_per_dim=tiles_per_dim,
+                partition_timeout=partition_timeout,
+                max_retries=max_retries,
             )
             outcomes, stats = find_run.results, find_run.stats
             wall = find_run.wall_seconds

@@ -1,0 +1,182 @@
+"""Unit tests for the deterministic failpoint harness."""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import get_registry, reset_metrics, set_metrics
+from repro.resilience import failpoints
+from repro.resilience.failpoints import (
+    KNOWN_SITES,
+    FailpointError,
+    FailpointSpec,
+    arm,
+    armed,
+    disarm,
+    disarm_all,
+    inject,
+    load_env_spec,
+    maybe_fail_worker,
+    parse_trigger,
+    should_fire,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    disarm_all()
+    yield
+    disarm_all()
+
+
+class TestTriggerGrammar:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("off", ("off", 0.0)),
+            ("always", ("always", 0.0)),
+            ("nth:3", ("nth", 3.0)),
+            ("times:2", ("times", 2.0)),
+            ("prob:0.25", ("prob", 0.25)),
+            ("  always  ", ("always", 0.0)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_trigger(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "sometimes", "nth", "nth:0", "nth:1.5", "times:-1", "prob:2", "prob:x"],
+    )
+    def test_invalid(self, text):
+        with pytest.raises(FailpointError):
+            parse_trigger(text)
+
+
+class TestArming:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FailpointError, match="unknown failpoint site"):
+            arm("worker.explode")
+
+    def test_armed_and_disarm(self):
+        assert not armed("worker.crash")
+        arm("worker.crash", "always")
+        assert armed("worker.crash")
+        disarm("worker.crash")
+        assert not armed("worker.crash")
+
+    def test_off_trigger_counts_as_unarmed(self):
+        arm("io.bad_row", "off")
+        assert not armed("io.bad_row")
+        assert not should_fire("io.bad_row")
+
+    def test_every_known_site_arms(self):
+        for site in KNOWN_SITES:
+            arm(site, "off")
+
+
+class TestEvaluation:
+    def test_nth_fires_exactly_once(self):
+        spec = FailpointSpec(site="io.bad_row", mode="nth", arg=3)
+        assert [spec.evaluate("k", hit) for hit in (1, 2, 3, 4)] == [
+            False, False, True, False,
+        ]
+
+    def test_times_fires_first_k(self):
+        spec = FailpointSpec(site="io.bad_row", mode="times", arg=2)
+        assert [spec.evaluate("k", hit) for hit in (1, 2, 3)] == [True, True, False]
+
+    def test_prob_deterministic_per_seed(self):
+        a = FailpointSpec(site="io.bad_row", mode="prob", arg=0.5, seed=7)
+        b = FailpointSpec(site="io.bad_row", mode="prob", arg=0.5, seed=7)
+        draws_a = [a.evaluate(k, 1) for k in range(200)]
+        draws_b = [b.evaluate(k, 1) for k in range(200)]
+        assert draws_a == draws_b
+        # And roughly P of them fire — the hash is a uniform draw.
+        assert 60 <= sum(draws_a) <= 140
+
+    def test_prob_extremes(self):
+        never = FailpointSpec(site="io.bad_row", mode="prob", arg=0.0)
+        always = FailpointSpec(site="io.bad_row", mode="prob", arg=1.0)
+        assert not any(never.evaluate(k, 1) for k in range(50))
+        assert all(always.evaluate(k, 1) for k in range(50))
+
+    def test_hit_counter_increments_per_key(self):
+        arm("io.bad_row", "nth:2")
+        # key "a": hits 1, 2, 3 -> fires on the second only.
+        assert not should_fire("io.bad_row", key="a")
+        assert should_fire("io.bad_row", key="a")
+        assert not should_fire("io.bad_row", key="a")
+        # key "b" has its own counter.
+        assert not should_fire("io.bad_row", key="b")
+        assert should_fire("io.bad_row", key="b")
+
+    def test_explicit_hit_bypasses_counter(self):
+        arm("io.bad_row", "times:1")
+        assert should_fire("io.bad_row", key="a", hit=1)
+        assert should_fire("io.bad_row", key="a", hit=1)  # no state involved
+        assert not should_fire("io.bad_row", key="a", hit=2)
+
+    def test_unarmed_site_never_fires(self):
+        assert not should_fire("store.torn_write", key="x")
+
+
+class TestInject:
+    def test_restores_registry(self):
+        arm("io.bad_row", "always")
+        with inject({"io.bad_row": "off", "store.torn_write": "always"}):
+            assert not armed("io.bad_row")
+            assert armed("store.torn_write")
+        assert armed("io.bad_row")
+        assert not armed("store.torn_write")
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject({"store.torn_write": "always"}):
+                raise RuntimeError("boom")
+        assert not armed("store.torn_write")
+
+
+class TestEnvSpec:
+    def test_parse_spec_string(self):
+        sites = load_env_spec("worker.crash=times:1, io.bad_row=prob:0.5")
+        assert sorted(sites) == ["io.bad_row", "worker.crash"]
+        assert armed("worker.crash")
+        assert armed("io.bad_row")
+
+    def test_semicolon_separator(self):
+        sites = load_env_spec("worker.crash=off;worker.hang=nth:2")
+        assert sorted(sites) == ["worker.crash", "worker.hang"]
+
+    def test_invalid_entry_raises(self):
+        with pytest.raises(FailpointError, match="site=trigger"):
+            load_env_spec("worker.crash")
+
+    def test_empty_spec_arms_nothing(self):
+        assert load_env_spec("") == []
+
+
+class TestWorkerSites:
+    def test_noop_in_arming_process(self):
+        # Both sites armed "always": if either took effect in the arming
+        # process this test run would die. This is the guarantee that
+        # makes the supervisor's in-parent serial fallback crash-immune.
+        arm("worker.crash", "always")
+        arm("worker.hang", "always")
+        assert failpoints._ARM_PID == os.getpid()
+        maybe_fail_worker(0, 1)  # returns, rather than SIGKILLing us
+
+    def test_fired_counter(self):
+        set_metrics(True)
+        reset_metrics()
+        try:
+            arm("io.bad_row", "always")
+            should_fire("io.bad_row", key=1)
+            counters = get_registry().counter_values()
+            assert (
+                counters['repro_resilience_failpoint_fired_total{site="io.bad_row"}']
+                == 1
+            )
+        finally:
+            set_metrics(False)
+            reset_metrics()
