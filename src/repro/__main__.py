@@ -9,6 +9,7 @@ persistent dataset indexes built with ``build-index``::
     python -m repro join r.wkt s.wkt --mode disk      # out-of-core PBSM
     python -m repro build-index r.wkt --index r_idx   # persist the dataset
     python -m repro join r_idx s_idx --index          # warm: no rasterising
+    python -m repro calibrate                         # fit the --mode auto cost model
     python -m repro explain r.wkt s.wkt --index 3 7   # why did P+C decide that?
     python -m repro select data.geojson --query "POLYGON((...))" --predicate intersects
     python -m repro approximate data.wkt --grid-order 12 --out approx.npz
@@ -42,7 +43,7 @@ from repro.datasets.io import load_wkt_file
 from repro.geometry import Polygon, loads_wkt_geometry
 from repro.geometry.multipolygon import MultiPolygon
 from repro.join.run import JoinRun
-from repro.store import MODES, StoreError, default_engine
+from repro.store import MODES, Engine, StoreError, default_engine
 from repro.topology import TopologicalRelation, most_specific_relation, relate
 
 
@@ -204,7 +205,13 @@ def _resolve_dataset(
 
 def cmd_join(args: argparse.Namespace) -> int:
     _setup_obs(args)
-    engine = default_engine()
+    if args.calibration:
+        try:
+            engine = Engine(calibration=args.calibration)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"{args.calibration}: {exc}") from exc
+    else:
+        engine = default_engine()
     rd = _resolve_dataset(
         engine, args.r, args.index,
         on_error=args.on_index_error, strict=not args.quarantine,
@@ -229,14 +236,23 @@ def cmd_join(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+    decision_meta = run.meta.get("cost_model")
+    if decision_meta is not None and args.mode == "auto":
+        print(
+            f"# auto mode -> {decision_meta['decision']} "
+            f"({decision_meta['source']})",
+            file=sys.stderr,
+        )
     if predicate is not None:
         matches = run.matches
         for i, j in matches:
             print(f"{i}\t{predicate.value}\t{j}")
         print(f"# {len(matches)} pairs satisfy {predicate.value}", file=sys.stderr)
         args.explain_sample = 0  # explain narrates find-relation runs only
-        _emit_obs(args, run, None, None,
-                  {"predicate": predicate.value, "matches": len(matches)})
+        extra = {"predicate": predicate.value, "matches": len(matches)}
+        if decision_meta is not None:
+            extra["cost_model"] = decision_meta
+        _emit_obs(args, run, None, None, extra)
     else:
         for link in run.results:
             print(f"{link.r_index}\t{link.relation.value}\t{link.s_index}")
@@ -253,7 +269,52 @@ def cmd_join(args: argparse.Namespace) -> int:
             grid = engine.join_grid(rd, sd, args.grid_order)
             r_objects = engine.objects(rd, grid)
             s_objects = engine.objects(sd, grid)
-        _emit_obs(args, run, r_objects, s_objects, {"links": len(run.results)})
+        extra = {"links": len(run.results)}
+        if decision_meta is not None:
+            extra["cost_model"] = decision_meta
+        _emit_obs(args, run, r_objects, s_objects, extra)
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.optimizer import CostModel, JoinFeatures, default_profile_path
+    from repro.optimizer.calibrate import measure_profile
+
+    profile = measure_profile(
+        workers=args.workers,
+        repeats=args.repeats,
+        scale=args.scale,
+        include_disk=args.include_disk,
+    )
+    out = Path(args.out) if args.out else default_profile_path()
+    profile.save(out)
+    # The process-default engine may predate this profile; drop it so
+    # the next join discovers the fresh calibration.
+    from repro.store import set_default_engine
+
+    set_default_engine(None)
+    cpu = os.cpu_count() or 1
+    print(f"wrote calibration profile to {out}")
+    print(f"# machine: {cpu} cpu(s); parallel measured with "
+          f"{profile.measured_workers} workers", file=sys.stderr)
+    for mode in sorted(profile.modes):
+        mc = profile.modes[mode]
+        print(f"# {mode:>8}: {mc.startup * 1e3:8.2f} ms startup "
+              f"+ {mc.per_pair * 1e6:8.2f} us/pair", file=sys.stderr)
+    model = CostModel(profile)
+    print("# auto-mode preview (warm index, workers = cpu count):", file=sys.stderr)
+    for pairs in (100, 10_000, 1_000_000):
+        features = JoinFeatures(
+            r_count=max(1, pairs // 10),
+            s_count=max(1, pairs // 10),
+            pairs=float(pairs),
+            workers=cpu,
+            cpu_count=cpu,
+        )
+        decision = model.decide(features)
+        print(f"#   {pairs:>9,} pairs -> {decision.mode}", file=sys.stderr)
     return 0
 
 
@@ -373,7 +434,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--mode", default="auto", choices=list(MODES),
         help="execution mode: serial, batch (vectorised P+C), parallel, "
-             "disk (out-of-core PBSM), or auto (serial/parallel by --workers)",
+             "disk (out-of-core PBSM), or auto (cost-model pick when a "
+             "calibration profile exists — see the calibrate subcommand; "
+             "otherwise serial/parallel by --workers)",
+    )
+    p.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="cost-model calibration profile for --mode auto (default: "
+             "auto-discover from $REPRO_CALIBRATION, then "
+             "~/.cache/repro/calibration.json)",
     )
     p.add_argument(
         "--index", action="store_true",
@@ -428,6 +497,34 @@ def main(argv: list[str] | None = None) -> int:
              "aborting the load",
     )
     p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="measure this machine and persist the auto-mode cost model",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="profile destination (default: $REPRO_CALIBRATION, then "
+             "~/.cache/repro/calibration.json)",
+    )
+    p.add_argument(
+        "--workers", type=_worker_count, default=None,
+        help="parallel pool size to measure (default: min(4, cpus), "
+             "never less than 2 so the pool overhead is real)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="timing repeats per measurement; the minimum is kept (default 2)",
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor for the two calibration workloads (default 1.0)",
+    )
+    p.add_argument(
+        "--include-disk", action="store_true",
+        help="also measure the out-of-core PBSM mode (slower)",
+    )
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser(
         "build-index",

@@ -146,20 +146,74 @@ class SpatialHistogram:
 def estimate_join_candidates(r_hist: SpatialHistogram, s_hist: SpatialHistogram) -> float:
     """Expected size of the MBR-intersection join of two datasets.
 
-    Bucket-local model: centers uniform within their bucket; a pair in
-    the same bucket intersects with probability
-    ``min(1, (wr+ws)/bw) * min(1, (hr+hs)/bh)``. Cross-bucket pairs are
-    approximated by smoothing each side's counts over the neighbourhood
-    an average MBR reaches.
+    Minkowski model with centers uniform within their bucket: two
+    average-sized MBRs intersect iff their center offset is at most
+    ``(wr+ws)/2`` per axis, so a pair of buckets at integer offset
+    ``d`` contributes with the exact triangular-convolution probability
+    ``P(|U1 - U2 + d| <= t)`` (``t`` the reach in bucket units). The
+    estimate sums that probability over every bucket-offset within
+    reach — the cross-bucket smoothing that keeps the estimator honest
+    when MBRs span many buckets (tessellations, admin boundaries),
+    where a same-bucket-only product collapses toward zero. Capped by
+    ``|R| * |S|``.
     """
     if r_hist.extent != s_hist.extent or r_hist.buckets_per_dim != s_hist.buckets_per_dim:
         raise ValueError("histograms must share extent and resolution")
     bw = r_hist.bucket_width
     bh = r_hist.bucket_height
-    p_w = min(1.0, (r_hist.avg_width + s_hist.avg_width) / bw if bw else 1.0)
-    p_h = min(1.0, (r_hist.avg_height + s_hist.avg_height) / bh if bh else 1.0)
-    pair_density = (r_hist.counts * s_hist.counts).sum()
-    return float(pair_density * p_w * p_h)
+    tx = ((r_hist.avg_width + s_hist.avg_width) / 2.0) / bw if bw else math.inf
+    ty = ((r_hist.avg_height + s_hist.avg_height) / 2.0) / bh if bh else math.inf
+    px = _offset_probabilities(tx, r_hist.buckets_per_dim)
+    py = _offset_probabilities(ty, r_hist.buckets_per_dim)
+    total = 0.0
+    for dy, p_y in py:
+        for dx, p_x in px:
+            weight = p_x * p_y
+            if weight <= 0.0:
+                continue
+            total += weight * _shifted_product(r_hist.counts, s_hist.counts, dy, dx)
+    cap = float(r_hist.num_objects) * float(s_hist.num_objects)
+    return float(min(total, cap))
+
+
+def _triangular_cdf(z: float) -> float:
+    """CDF of ``U1 - U2`` for independent uniforms on ``[0, 1)``."""
+    if z <= -1.0:
+        return 0.0
+    if z >= 1.0:
+        return 1.0
+    if z <= 0.0:
+        return (1.0 + z) ** 2 / 2.0
+    return 1.0 - (1.0 - z) ** 2 / 2.0
+
+
+def _offset_probabilities(t: float, buckets: int) -> list[tuple[int, float]]:
+    """``(bucket offset, P(|U1 - U2 + d| <= t))`` for offsets in reach.
+
+    ``t`` is the per-axis Minkowski reach in bucket units; an infinite
+    reach (degenerate bucket size) means every offset intersects.
+    """
+    if not math.isfinite(t):
+        return [(d, 1.0) for d in range(-(buckets - 1), buckets)]
+    reach = min(buckets - 1, int(math.ceil(t)) + 1)
+    out = []
+    for d in range(-reach, reach + 1):
+        p = _triangular_cdf(t - d) - _triangular_cdf(-t - d)
+        if p > 1e-12:
+            out.append((d, p))
+    return out
+
+
+def _shifted_product(a: np.ndarray, b: np.ndarray, dy: int, dx: int) -> float:
+    """``sum_{i,j} a[i, j] * b[i - dy, j - dx]`` over valid indices."""
+    h, w = a.shape
+    ay0, ay1 = max(0, dy), min(h, h + dy)
+    ax0, ax1 = max(0, dx), min(w, w + dx)
+    if ay0 >= ay1 or ax0 >= ax1:
+        return 0.0
+    return float(
+        (a[ay0:ay1, ax0:ax1] * b[ay0 - dy : ay1 - dy, ax0 - dx : ax1 - dx]).sum()
+    )
 
 
 def _overlap_1d(a0: float, a1: float, b0: float, b1: float) -> float:

@@ -24,6 +24,7 @@ from repro.parallel.executor import (
     ParallelRelateRun,
     default_workers,
     fork_available,
+    resolve_workers,
     run_find_relation_parallel,
     run_relate_parallel,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "chunk_pairs",
     "default_workers",
     "fork_available",
+    "resolve_workers",
     "run_find_relation_parallel",
     "run_relate_parallel",
 ]

@@ -67,6 +67,19 @@ def default_workers() -> int:
     return min(4, os.cpu_count() or 1)
 
 
+def resolve_workers(workers: int | None) -> int:
+    """The effective worker count a request resolves to.
+
+    ``None`` means "pick for me" and resolves through
+    :func:`default_workers` — which caps at the machine's core count,
+    so a 1-CPU box resolves to 1. Mode selection must call this
+    *before* deciding serial vs parallel; deciding on the raw ``None``
+    used to classify a 1-CPU machine as "parallel" and then run a
+    pointless 1-worker pool.
+    """
+    return default_workers() if workers is None else workers
+
+
 def fork_available() -> bool:
     """Whether the copy-on-write ``fork`` start method exists here."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -612,6 +625,7 @@ __all__ = [
     "ParallelRelateRun",
     "default_workers",
     "fork_available",
+    "resolve_workers",
     "run_find_relation_parallel",
     "run_relate_parallel",
 ]

@@ -25,10 +25,20 @@ Cache traffic is observable through the metrics registry
 (``repro_store_cache_total{cache,outcome}``,
 ``repro_store_build_seconds{what}``), and the warm-path proof counter
 ``repro_april_built_total`` stays at zero for a fully warm run.
+
+Since PR 6 the engine also owns the ``mode="auto"`` decision: a
+calibrated cost model (:mod:`repro.optimizer.cost`) prices each
+execution mode from the input cardinalities, a selectivity-histogram
+estimate of the candidate pairs, the core count and the cache state,
+and the cheapest mode runs — with the old workers-based rule as the
+calibration-free fallback. Decisions are recorded in
+``JoinRun.meta["cost_model"]`` and ``repro_cost_model_*``
+counters/spans.
 """
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from collections import OrderedDict
@@ -40,7 +50,16 @@ from repro.join.mbr_join import plane_sweep_mbr_join
 from repro.join.objects import SpatialObject
 from repro.join.pipeline import PIPELINES
 from repro.join.run import JoinResult, JoinRun
-from repro.obs.trace import trace
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import add_span, trace
+from repro.optimizer.cost import (
+    CalibrationProfile,
+    CostModel,
+    Decision,
+    JoinFeatures,
+    fallback_decision,
+    load_cost_model,
+)
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.store.dataset import (
     MANIFEST_NAME,
@@ -101,6 +120,19 @@ class Engine:
     Parameters bound the LRU caches; an engine with the defaults keeps
     a handful of datasets fully warm. One engine instance is not
     thread-safe; share it across sequential queries only.
+
+    ``calibration`` wires up the cost model behind ``mode="auto"``:
+
+    - ``None`` (default) — no model; auto falls back to the historical
+      workers-based rule, bit-identically. Library construction stays
+      deterministic regardless of what profiles exist on the machine.
+    - ``"auto"`` — discover the machine's persisted profile (written by
+      ``python -m repro calibrate``; see
+      :func:`repro.optimizer.cost.default_profile_path`). Absent or
+      stale profiles silently fall back. This is what
+      :func:`default_engine` (and therefore the CLI) uses.
+    - a path, :class:`CalibrationProfile` or :class:`CostModel` — use
+      exactly that calibration (paths must load; errors propagate).
     """
 
     def __init__(
@@ -109,10 +141,25 @@ class Engine:
         max_datasets: int = 8,
         max_object_sets: int = 16,
         max_pair_sets: int = 32,
+        calibration: str | Path | CalibrationProfile | CostModel | None = None,
     ) -> None:
         self._datasets = _LRU(max_datasets, "dataset")
         self._objects = _LRU(max_object_sets, "objects")
         self._pairs = _LRU(max_pair_sets, "pairs")
+        self._histograms = _LRU(max_pair_sets, "histogram")
+        self.cost_model = self._resolve_calibration(calibration)
+
+    @staticmethod
+    def _resolve_calibration(calibration) -> CostModel | None:
+        if calibration is None:
+            return None
+        if isinstance(calibration, CostModel):
+            return calibration
+        if isinstance(calibration, CalibrationProfile):
+            return CostModel(calibration)
+        if calibration == "auto":
+            return load_cost_model()
+        return load_cost_model(calibration)
 
     # ------------------------------------------------------------------
     # dataset resolution
@@ -235,10 +282,104 @@ class Engine:
         return pairs
 
     def clear(self) -> None:
-        """Drop every cached dataset, object set and pair set."""
+        """Drop every cached dataset, object set, pair set, histogram."""
         self._datasets.clear()
         self._objects.clear()
         self._pairs.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # cost-model support
+    # ------------------------------------------------------------------
+    def _histogram(self, dataset: SpatialDataset, extent: Box):
+        """The dataset's selectivity histogram on ``extent``, cached."""
+        from repro.optimizer.selectivity import SpatialHistogram
+
+        key = (dataset.content_hash, extent.xmin, extent.ymin, extent.xmax, extent.ymax)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = SpatialHistogram.build(dataset.boxes, extent=extent)
+            self._histograms.put(key, hist)
+        return hist
+
+    def estimate_pairs(self, r: SpatialDataset, s: SpatialDataset) -> float:
+        """Estimated candidate-pair cardinality of the MBR join, from
+        the selectivity histograms — without touching the data. When
+        the exact pair set is already cached (a warm repeat of the same
+        join), its length is returned instead."""
+        from repro.optimizer.selectivity import estimate_join_candidates
+
+        cached = self._pairs._data.get((r.content_hash, s.content_hash))
+        if cached is not None:
+            return float(len(cached))
+        extent = pad_dataspace(Box.union_all([r.extent, s.extent]))
+        return estimate_join_candidates(
+            self._histogram(r, extent), self._histogram(s, extent)
+        )
+
+    def _april_warm(self, dataset: SpatialDataset, grid: RasterGrid) -> bool:
+        """Whether approximations for ``grid`` are already available —
+        attached to a cached object set or persisted in the index —
+        i.e. whether a join on this grid skips rasterisation."""
+        objects = self._objects._data.get((dataset.content_hash, _grid_identity(grid)))
+        if objects and objects[0].april is not None:
+            return True
+        payload = dataset.approximation_path(grid)
+        return payload is not None and payload.exists()
+
+    def _decide_auto(
+        self,
+        features: JoinFeatures,
+        candidates: Sequence[str],
+    ) -> Decision:
+        """Resolve ``mode="auto"`` into a concrete mode.
+
+        With a cost model, the cheapest predicted candidate wins; the
+        decision (and the full prediction table) is recorded as a span
+        and in ``repro_cost_model_*`` counters. Without one, the
+        historical workers-based rule applies — on *resolved* workers,
+        so ``workers=None`` on a 1-CPU machine lands on serial.
+        """
+        t0 = time.perf_counter()
+        if self.cost_model is not None:
+            decision = self.cost_model.decide(features, candidates)
+        else:
+            decision = fallback_decision(features.workers)
+        self._decide_seconds = time.perf_counter() - t0
+        if metrics_enabled():
+            registry = get_registry()
+            registry.inc(
+                "repro_cost_model_decisions_total",
+                mode=decision.mode,
+                source=decision.source,
+            )
+            for mode, seconds in decision.predicted.items():
+                registry.observe(
+                    "repro_cost_model_predicted_seconds", seconds, mode=mode
+                )
+        return decision
+
+    def _observe_auto(self, decision: Decision, run: JoinRun) -> None:
+        """Fold an auto-decided run's wall time back into the model and
+        attach the decision to the run envelope."""
+        run.meta["cost_model"] = decision.to_meta()
+        # Emitted after the run so the join's own span tree stays the
+        # first exported root (the shape trace consumers pin on).
+        features = decision.features
+        add_span(
+            "cost_model_decision",
+            getattr(self, "_decide_seconds", 0.0),
+            decision=decision.mode,
+            source=decision.source,
+            pairs=round(features.pairs, 1) if features is not None else None,
+            workers=features.workers if features is not None else None,
+        )
+        if (
+            self.cost_model is not None
+            and decision.source == "calibration"
+            and decision.features is not None
+        ):
+            self.cost_model.observe_run(run.mode, decision.features, run.wall_seconds)
 
     # ------------------------------------------------------------------
     # execution
@@ -266,11 +407,23 @@ class Engine:
         """Join ``r`` with ``s`` and return one :class:`JoinRun`,
         whatever the execution mode.
 
-        ``mode="auto"`` runs serial for ``workers=1`` and parallel
-        otherwise; ``"batch"`` uses the vectorised P+C runner;
-        ``"disk"`` runs the out-of-core PBSM join (``workdir`` holds
-        the partition files; a temporary directory when omitted).
-        ``predicate`` switches from find-relation to a relate_p join.
+        ``mode="auto"`` consults the engine's cost model (see the class
+        docstring's ``calibration`` parameter): input cardinalities, a
+        selectivity-histogram estimate of the candidate-pair count, the
+        machine's core count and the cache state (warm payloads vs cold
+        rasterisation) price out serial vs parallel (vs disk, above the
+        profile's pair threshold), and the cheapest predicted mode runs.
+        The decision, its source and the full prediction table land in
+        ``run.meta["cost_model"]`` and in ``repro_cost_model_*``
+        counters/spans. Engines without calibration fall back to the
+        historical rule — parallel iff the *resolved* worker count
+        exceeds one (``workers=None`` resolves through
+        ``default_workers()`` first, so a 1-CPU machine runs serial).
+
+        ``"batch"`` uses the vectorised P+C runner; ``"disk"`` runs the
+        out-of-core PBSM join (``workdir`` holds the partition files; a
+        temporary directory when omitted). ``predicate`` switches from
+        find-relation to a relate_p join.
 
         Fault-tolerance knobs: ``partition_timeout``/``max_retries``
         bound the supervised parallel fan-out (see
@@ -296,10 +449,36 @@ class Engine:
         sd = self.dataset(
             s, on_error=on_index_error, strict=strict, quarantine=s_quarantine
         )
+        decision: Decision | None = None
+        if mode == "auto":
+            from repro.parallel.executor import resolve_workers
+
+            effective = resolve_workers(workers)
+            needs_april = predicate is not None or PIPELINES[method].uses_april
+            grid = self.join_grid(rd, sd, grid_order)
+            features = JoinFeatures(
+                r_count=len(rd),
+                s_count=len(sd),
+                pairs=self.estimate_pairs(rd, sd),
+                workers=effective,
+                cpu_count=os.cpu_count() or 1,
+                warm=self._april_warm(rd, grid) and self._april_warm(sd, grid),
+                needs_april=needs_april,
+            )
+            # Auto arbitrates serial vs parallel (the decision the
+            # recorded 0.75× regression hinged on); disk joins the race
+            # only above the profile's pair threshold, and batch stays
+            # an explicit opt-in (its prediction is still reported).
+            candidates = ["serial", "parallel"]
+            if predicate is None:
+                candidates.append("disk")
+            decision = self._decide_auto(features, candidates)
+            mode = decision.mode
+            workers = effective
         if mode == "disk":
             if predicate is not None:
                 raise ValueError("disk mode does not support relate_p predicates")
-            return self._disk_join(
+            run = self._disk_join(
                 rd,
                 sd,
                 method=method,
@@ -308,6 +487,9 @@ class Engine:
                 include_disjoint=include_disjoint,
                 workdir=workdir,
             )
+            if decision is not None:
+                self._observe_auto(decision, run)
+            return run
         with trace("topology_join", method=method, mode=mode):
             grid = self.join_grid(rd, sd, grid_order)
             needs_april = predicate is not None or PIPELINES[method].uses_april
@@ -329,6 +511,8 @@ class Engine:
                 partition_timeout=partition_timeout,
                 max_retries=max_retries,
             )
+        if decision is not None:
+            self._observe_auto(decision, run)
         run.meta.update(
             r=rd.name, s=sd.name, r_count=len(rd), s_count=len(sd), grid_order=grid_order
         )
@@ -357,12 +541,39 @@ class Engine:
         """Run one verification pass over prepared objects and pairs.
 
         The lower-level sibling of :meth:`join` for callers that manage
-        their own objects (``TopologyJoin`` delegates here).
+        their own objects (``TopologyJoin`` delegates here). Implements
+        the in-memory modes only: ``"disk"`` (which re-partitions whole
+        datasets on disk) and unknown modes raise :class:`ValueError`
+        instead of silently running something else. ``mode="auto"``
+        decides exactly like :meth:`join` — cost model when the engine
+        has one (with the *exact* pair count as the cardinality
+        feature), resolved-workers rule otherwise.
         """
         from repro.parallel import run_find_relation_parallel, run_relate_parallel
+        from repro.parallel.executor import resolve_workers
 
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; available: {list(MODES)}")
+        if mode == "disk":
+            raise ValueError(
+                "execute() runs in-memory modes only; disk joins re-partition "
+                "whole datasets on disk — use Engine.join(..., mode='disk')"
+            )
+        decision: Decision | None = None
         if mode == "auto":
-            mode = "parallel" if workers is None or workers > 1 else "serial"
+            effective = resolve_workers(workers)
+            features = JoinFeatures(
+                r_count=len(r_objects),
+                s_count=len(s_objects),
+                pairs=float(len(pairs)),
+                workers=effective,
+                cpu_count=os.cpu_count() or 1,
+                warm=True,  # objects arrive prepared; nothing left to rasterise
+                needs_april=predicate is not None or PIPELINES[method].uses_april,
+            )
+            decision = self._decide_auto(features, ("serial", "parallel"))
+            mode = decision.mode
+            workers = effective
         effective = 1 if mode == "serial" else workers
 
         if predicate is not None:
@@ -380,7 +591,7 @@ class Engine:
                 partition_timeout=partition_timeout,
                 max_retries=max_retries,
             )
-            return JoinRun(
+            run = JoinRun(
                 results=[
                     JoinResult(i, j, predicate, None) for i, j in relate_run.matches
                 ],
@@ -393,6 +604,9 @@ class Engine:
                 workers=relate_run.workers,
                 partitions=relate_run.partitions,
             )
+            if decision is not None:
+                self._observe_auto(decision, run)
+            return run
 
         if mode == "batch":
             from repro.join.batch import run_find_relation_batch_outcomes
@@ -429,7 +643,7 @@ class Engine:
             for i, j, relation, filtered in outcomes
             if include_disjoint or relation is not TopologicalRelation.DISJOINT
         ]
-        return JoinRun(
+        run = JoinRun(
             results=results,
             stats=stats,
             method=method,
@@ -438,6 +652,9 @@ class Engine:
             workers=run_workers,
             partitions=partitions,
         )
+        if decision is not None:
+            self._observe_auto(decision, run)
+        return run
 
     def _disk_join(
         self,
@@ -502,10 +719,17 @@ _DEFAULT_ENGINE: Engine | None = None
 
 
 def default_engine() -> Engine:
-    """The process-wide engine the CLI and convenience APIs share."""
+    """The process-wide engine the CLI and convenience APIs share.
+
+    Unlike a bare ``Engine()``, the default engine discovers the
+    machine's persisted calibration profile (``python -m repro
+    calibrate``), so CLI ``--mode auto`` joins are cost-model-driven
+    wherever a profile exists — and fall back to the workers rule
+    where none does.
+    """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = Engine()
+        _DEFAULT_ENGINE = Engine(calibration="auto")
     return _DEFAULT_ENGINE
 
 

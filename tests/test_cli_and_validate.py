@@ -148,6 +148,51 @@ class TestCliObservability:
         assert record["spans"] and record["metrics"]
         assert "# explain pair" in err or not record.get("explain_samples")
 
+    def test_calibrate_then_auto_join(self, wkt_files, tmp_path, capsys, monkeypatch):
+        from repro.obs.report import read_jsonl
+        from repro.optimizer.cost import PROFILE_ENV
+
+        r, s = wkt_files
+        profile_path = tmp_path / "calibration.json"
+        monkeypatch.setenv(PROFILE_ENV, str(profile_path))
+        assert main(["calibrate", "--repeats", "1", "--scale", "0.4"]) == 0
+        out, err = capsys.readouterr()
+        assert profile_path.exists()
+        assert "wrote calibration profile" in out
+        assert "auto-mode preview" in err
+
+        log_path = tmp_path / "runs.jsonl"
+        assert main([
+            "join", r, s, "--grid-order", "9", "--workers", "4",
+            "--run-log", str(log_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "# auto mode ->" in err
+        (record,) = read_jsonl(log_path)
+        decision = record["meta"]["cost_model"]
+        assert decision["source"] == "calibration"
+        assert decision["decision"] == record["meta"]["mode"]
+        assert "predicted_seconds" in decision
+
+    def test_join_explicit_calibration_flag(self, wkt_files, tmp_path, capsys, monkeypatch):
+        from repro.optimizer.cost import PROFILE_ENV
+        from tests.test_optimizer_cost import make_profile
+
+        r, s = wkt_files
+        monkeypatch.setenv(PROFILE_ENV, "")  # no ambient discovery
+        path = make_profile(cpu=None).save(tmp_path / "cal.json")
+        assert main([
+            "join", r, s, "--grid-order", "9", "--workers", "4",
+            "--calibration", str(path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "# auto mode -> serial (calibration)" in err
+
+    def test_join_bad_calibration_path_aborts(self, wkt_files, tmp_path):
+        r, s = wkt_files
+        with pytest.raises(SystemExit, match="absent"):
+            main(["join", r, s, "--calibration", str(tmp_path / "absent.json")])
+
     def test_join_trace_to_stderr(self, wkt_files, capsys):
         r, s = wkt_files
         assert main(["join", r, s, "--grid-order", "9", "--trace", "-"]) == 0
