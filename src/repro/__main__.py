@@ -331,6 +331,7 @@ def cmd_build_index(args: argparse.Namespace) -> int:
             workers=args.workers,
             strict=not args.quarantine,
             quarantine=quarantine,
+            payload_codec=args.payload_codec,
         )
     except (StoreError, ValueError) as exc:
         raise SystemExit(f"{args.data}: {exc}") from exc
@@ -344,6 +345,15 @@ def cmd_build_index(args: argparse.Namespace) -> int:
     else:
         print(f"# APRIL payload precomputed for the dataset's own grid "
               f"(order {args.grid_order})", file=sys.stderr)
+        stats = dataset.payload_stats(dataset.grid(args.grid_order))
+        if stats is not None:
+            print(
+                f"# payload codec {stats['codec']}: "
+                f"{stats['stored_bytes'] / 1024:.1f} KiB on disk, "
+                f"{stats['bytes_per_object']:.1f} B/object, "
+                f"{stats['compression_ratio']:.2f}x vs plain intervals",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -390,7 +400,7 @@ def cmd_approximate(args: argparse.Namespace) -> int:
     extent = pad_dataspace(Box.union_all([g.bbox for g in data]))
     grid = RasterGrid(extent, order=args.grid_order)
     approximations = build_april_parallel(data, grid, workers=args.workers)
-    save_approximations(args.out, approximations)
+    save_approximations(args.out, approximations, codec=args.payload_codec)
     total = sum(a.nbytes for a in approximations)
     print(
         f"wrote {len(approximations)} approximations "
@@ -539,6 +549,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--no-approximate", action="store_true",
                    help="skip payload precomputation; the first join builds "
                         "and persists payloads lazily")
+    p.add_argument("--payload-codec", choices=("varint", "raw"), default="varint",
+                   help="on-disk APRIL payload layout: 'varint' (compressed "
+                        "delta+varint blob, the default) or 'raw' (version-1 "
+                        "flat arrays readable by older builds)")
     p.add_argument(
         "--workers", type=_worker_count, default=1,
         help="worker processes for rasterisation (default 1)",
@@ -574,6 +588,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("data")
     p.add_argument("--out", required=True)
     p.add_argument("--grid-order", type=int, default=11)
+    p.add_argument("--payload-codec", choices=("varint", "raw"), default="varint",
+                   help="payload layout to write (default varint)")
     p.add_argument(
         "--workers", type=_worker_count, default=1,
         help="worker processes for rasterisation (default 1)",

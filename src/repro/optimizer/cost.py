@@ -39,10 +39,13 @@ different core count raises :class:`CalibrationError` — the engine then
 falls back to the historical workers-based rule rather than trusting a
 stale model.
 
-Auto-mode *selection* arbitrates serial vs parallel (plus disk above a
-configurable pair threshold); predicted costs for every calibrated mode
-— including batch and disk — are reported in ``JoinRun.meta`` so the
-decision is auditable even for modes it declined to pick.
+Auto-mode *selection* arbitrates serial vs batch vs parallel (batch
+only for P+C find-relation joins, the pipeline it implements; disk
+joins the race above a configurable pair threshold). Ties resolve in
+candidate order — serial first — so bench-seeded profiles that copy
+serial's per-pair cost for batch keep the historical pick. Predicted
+costs for every calibrated mode are reported in ``JoinRun.meta`` so
+the decision is auditable even for modes it declined to pick.
 """
 
 from __future__ import annotations

@@ -17,6 +17,10 @@ against each other.
 """
 
 from repro.raster.april import AprilApproximation, build_april
+from repro.raster.compression import (
+    CompressedAprilPayload,
+    LazyAprilApproximation,
+)
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.raster.hilbert import hilbert_d2xy, hilbert_xy2d, hilbert_xy2d_bulk
 from repro.raster.intervals import IntervalList
@@ -29,7 +33,9 @@ from repro.raster.rasterize import RasterizationError, rasterize_polygon
 
 __all__ = [
     "AprilApproximation",
+    "CompressedAprilPayload",
     "IntervalList",
+    "LazyAprilApproximation",
     "RasterGrid",
     "RasterizationError",
     "build_april",

@@ -2,17 +2,28 @@
 
 The paper's preprocessing ("conducted once per object") pays off only
 if approximations are stored and reloaded across join runs. This module
-packs a whole dataset's P/C interval lists into one ``.npz`` file:
-per-object interval arrays are concatenated with offset indexes, so a
-collection of any size loads with a handful of numpy reads and zero
-per-object parsing.
+packs a whole dataset's P/C interval lists into one ``.npz`` file in
+one of two layouts:
+
+- ``codec="varint"`` (version 2, the default): the dataset-level
+  delta+varint blob of :class:`repro.raster.compression
+  .CompressedAprilPayload` — one contiguous byte buffer plus the
+  per-object offset/summary table, checksummed with CRC-32. Loading
+  builds the payload and returns *lazy* approximations that decode
+  per object on first touch, so a warm join reads a fraction of the
+  plain bytes.
+- ``codec="raw"`` (version 1, the pre-PR-7 layout): per-object interval
+  arrays concatenated with offset indexes, loaded eagerly. Still
+  written on request (``--payload-codec raw``) and always readable, so
+  existing indexes keep working unchanged.
 
 Every load is validated: a payload with an unknown format version, a
-missing array, a torn/truncated archive, or — when the caller states
-the grid it is about to join on — a mismatched grid raises a typed
-:class:`StoreError` instead of silently yielding approximations that
-would compare garbage intervals. Callers that can rebuild pass
-``on_error="rebuild"`` to get ``None`` back instead of the exception.
+missing array, a torn/truncated archive, a blob failing its checksum,
+or — when the caller states the grid it is about to join on — a
+mismatched grid raises a typed :class:`StoreError` instead of silently
+yielding approximations that would compare garbage intervals. Callers
+that can rebuild pass ``on_error="rebuild"`` to get ``None`` back
+instead of the exception.
 
 Writes are crash-safe: the payload is serialised in memory and lands
 via :func:`repro.resilience.atomic.atomic_writer`, so a process killed
@@ -20,12 +31,19 @@ mid-persist leaves either the previous complete payload or none at all
 — never a torn ``.npz``. The ``store.torn_write`` failpoint simulates
 exactly the pre-atomic failure (a truncated archive at the final path)
 for chaos tests.
+
+Loads and decodes are auditable: ``repro_payload_stored_bytes_total``
+counts the on-disk bytes read per codec, and
+``repro_payload_decoded_bytes_total`` (incremented by the payload as
+objects decode — at load time for the eager raw layout) counts the
+plain bytes materialised from them.
 """
 
 from __future__ import annotations
 
 import io
 import logging
+import lzma
 import zipfile
 import zlib
 from pathlib import Path
@@ -34,7 +52,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.geometry.box import Box
+from repro.obs.metrics import get_registry, metrics_enabled
 from repro.raster.april import AprilApproximation
+from repro.raster.compression import (
+    CompressedAprilPayload,
+    LazyAprilApproximation,
+    varint_decode,
+    varint_encode,
+)
 from repro.raster.grid import RasterGrid
 from repro.raster.intervals import IntervalList
 from repro.resilience.atomic import atomic_write_bytes
@@ -42,7 +67,16 @@ from repro.resilience.failpoints import should_fire
 
 log = logging.getLogger("repro.resilience")
 
-_FORMAT_VERSION = 1
+#: Version 1 is the raw two-arrays-per-list layout; version 2 carries
+#: the compressed dataset blob. Both remain readable.
+_RAW_VERSION = 1
+_COMPRESSED_VERSION = 2
+_FORMAT_VERSION = _RAW_VERSION  # kept: the raw layout's on-disk version
+
+#: Payload codecs :func:`save_approximations` understands; the first is
+#: the store-wide default.
+PAYLOAD_CODECS = ("varint", "raw")
+DEFAULT_PAYLOAD_CODEC = PAYLOAD_CODECS[0]
 
 
 class StoreError(ValueError):
@@ -55,42 +89,87 @@ class StoreError(ValueError):
     """
 
 
+def _observe_payload_bytes(kind: str, nbytes: int, codec: str) -> None:
+    if metrics_enabled() and nbytes:
+        get_registry().inc(
+            f"repro_payload_{kind}_bytes_total", value=int(nbytes), codec=codec
+        )
+
+
 def save_approximations(
     path: str | Path,
     approximations: Sequence[AprilApproximation],
+    codec: str = DEFAULT_PAYLOAD_CODEC,
 ) -> None:
     """Write a dataset's approximations (plus their grid) to ``path``.
 
     All approximations must share one grid — the same requirement the
-    filters impose at comparison time.
+    filters impose at comparison time. ``codec`` picks the layout:
+    ``"varint"`` (default) writes the version-2 compressed blob,
+    ``"raw"`` the version-1 flat arrays (bit-compatible with pre-PR-7
+    builds).
     """
-    if not approximations:
-        raise ValueError("nothing to save: empty approximation sequence")
-    grid = approximations[0].grid
-    for a in approximations[1:]:
-        a.check_compatible(approximations[0])
-
-    def pack(lists: list[IntervalList]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        offsets = np.zeros(len(lists) + 1, dtype=np.int64)
-        for k, il in enumerate(lists):
-            offsets[k + 1] = offsets[k] + len(il)
-        starts = np.concatenate([il.starts for il in lists]) if offsets[-1] else np.empty(0, np.int64)
-        ends = np.concatenate([il.ends for il in lists]) if offsets[-1] else np.empty(0, np.int64)
-        return offsets, starts, ends
-
-    p_off, p_starts, p_ends = pack([a.p for a in approximations])
-    c_off, c_starts, c_ends = pack([a.c for a in approximations])
+    if codec not in PAYLOAD_CODECS:
+        raise ValueError(f"unknown payload codec {codec!r}; available: {list(PAYLOAD_CODECS)}")
+    if isinstance(approximations, CompressedAprilPayload):
+        grid = approximations.grid
+        if codec == "raw":
+            approximations = approximations.decode_block(range(len(approximations)))
+    else:
+        if not approximations:
+            raise ValueError("nothing to save: empty approximation sequence")
+        grid = approximations[0].grid
+        for a in approximations[1:]:
+            a.check_compatible(approximations[0])
 
     ds = grid.dataspace
     buffer = io.BytesIO()
-    np.savez_compressed(
-        buffer,
-        version=np.int64(_FORMAT_VERSION),
-        grid_order=np.int64(grid.order),
-        dataspace=np.array([ds.xmin, ds.ymin, ds.xmax, ds.ymax]),
-        p_offsets=p_off, p_starts=p_starts, p_ends=p_ends,
-        c_offsets=c_off, c_starts=c_starts, c_ends=c_ends,
-    )
+    if codec == "raw":
+        def pack(lists: list[IntervalList]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            offsets = np.zeros(len(lists) + 1, dtype=np.int64)
+            for k, il in enumerate(lists):
+                offsets[k + 1] = offsets[k] + len(il)
+            starts = np.concatenate([il.starts for il in lists]) if offsets[-1] else np.empty(0, np.int64)
+            ends = np.concatenate([il.ends for il in lists]) if offsets[-1] else np.empty(0, np.int64)
+            return offsets, starts, ends
+
+        p_off, p_starts, p_ends = pack([a.p for a in approximations])
+        c_off, c_starts, c_ends = pack([a.c for a in approximations])
+        np.savez_compressed(
+            buffer,
+            version=np.int64(_RAW_VERSION),
+            grid_order=np.int64(grid.order),
+            dataspace=np.array([ds.xmin, ds.ymin, ds.xmax, ds.ymax]),
+            p_offsets=p_off, p_starts=p_starts, p_ends=p_ends,
+            c_offsets=c_off, c_starts=c_starts, c_ends=c_ends,
+        )
+    else:
+        if isinstance(approximations, CompressedAprilPayload):
+            compressed = approximations
+        else:
+            compressed = _shared_payload(approximations)
+            if compressed is None:
+                compressed = CompressedAprilPayload.from_approximations(approximations)
+        # The stored form is deliberately minimal: the varint blob under
+        # an outer LZMA filter, per-object byte sizes as a second varint
+        # stream, and a CRC over the *uncompressed* blob. The summary
+        # table is derivable, so it is rebuilt at load time
+        # (CompressedAprilPayload.from_blob) instead of stored. Members
+        # are already entropy-coded, hence plain ``savez`` — zlib-ing
+        # them again would only burn CPU.
+        blob_bytes = compressed.blob.tobytes()
+        np.savez(
+            buffer,
+            version=np.int64(_COMPRESSED_VERSION),
+            codec=np.array(codec),
+            grid_order=np.int64(grid.order),
+            dataspace=np.array([ds.xmin, ds.ymin, ds.xmax, ds.ymax]),
+            blob=np.frombuffer(
+                lzma.compress(blob_bytes, preset=6), dtype=np.uint8
+            ),
+            sizes=varint_encode(np.diff(compressed.offsets)),
+            blob_crc32=np.uint32(zlib.crc32(blob_bytes)),
+        )
     payload = buffer.getvalue()
     path = Path(path)
     if should_fire("store.torn_write", key=path.name):
@@ -103,12 +182,40 @@ def save_approximations(
     atomic_write_bytes(path, payload)
 
 
+def _shared_payload(approximations: Sequence) -> CompressedAprilPayload | None:
+    """The payload behind a full, in-order lazy list — else ``None``.
+
+    Re-persisting approximations that were loaded compressed must not
+    decode and re-encode the whole dataset; a list that is exactly
+    ``payload.approximations()`` reuses the payload's arrays directly.
+    """
+    first = approximations[0]
+    if not isinstance(first, LazyAprilApproximation):
+        return None
+    payload = first.payload
+    if len(approximations) != len(payload):
+        return None
+    for k, a in enumerate(approximations):
+        if (
+            not isinstance(a, LazyAprilApproximation)
+            or a.payload is not payload
+            or a.index != k
+        ):
+            return None
+    return payload
+
+
 def load_approximations(
     path: str | Path,
     expected_grid: RasterGrid | None = None,
     on_error: str = "raise",
 ) -> list[AprilApproximation] | None:
     """Read approximations written by :func:`save_approximations`.
+
+    Both payload layouts load transparently: version-1 (raw) files
+    yield eager approximations, version-2 (varint) files yield lazy
+    ones backed by a shared :class:`CompressedAprilPayload` — callers
+    see a list of duck-type-compatible objects either way.
 
     When ``expected_grid`` is given, the payload's recorded grid must
     be compatible with it (same order and dataspace) or a
@@ -117,10 +224,10 @@ def load_approximations(
     mean different cells than the join's grid, corrupting every filter
     verdict downstream.
 
-    Any unusable payload — torn archive, missing array, version or grid
-    mismatch — raises :class:`StoreError` by default. With
-    ``on_error="rebuild"`` it returns ``None`` instead, telling the
-    caller to rebuild the payload from the geometries.
+    Any unusable payload — torn archive, missing array, checksum,
+    version or grid mismatch — raises :class:`StoreError` by default.
+    With ``on_error="rebuild"`` it returns ``None`` instead, telling
+    the caller to rebuild the payload from the geometries.
     """
     if on_error not in ("raise", "rebuild"):
         raise ValueError(f"on_error must be 'raise' or 'rebuild', got {on_error!r}")
@@ -131,6 +238,18 @@ def load_approximations(
             log.warning("unusable approximation payload, rebuilding: %s", exc)
             return None
         raise
+
+
+def payload_codec(path: str | Path) -> str:
+    """The codec a stored payload was written with (``raw``/``varint``)."""
+    try:
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version == _RAW_VERSION:
+                return "raw"
+            return str(data["codec"])
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+        raise StoreError(f"{path}: corrupt approximation file: {exc}") from exc
 
 
 def _read_payload(
@@ -146,10 +265,11 @@ def _read_payload(
     with archive as data:
         try:
             version = int(data["version"])
-            if version != _FORMAT_VERSION:
+            if version not in (_RAW_VERSION, _COMPRESSED_VERSION):
                 raise StoreError(
                     f"{path}: unsupported approximation file version {version} "
-                    f"(this build reads version {_FORMAT_VERSION})"
+                    f"(this build reads versions {_RAW_VERSION} and "
+                    f"{_COMPRESSED_VERSION})"
                 )
             xmin, ymin, xmax, ymax = data["dataspace"].tolist()
             grid = RasterGrid(Box(xmin, ymin, xmax, ymax), order=int(data["grid_order"]))
@@ -159,19 +279,17 @@ def _read_payload(
                     f"over {grid.dataspace}, but the join runs on grid order "
                     f"{expected_grid.order} over {expected_grid.dataspace}"
                 )
-
-            def unpack(prefix: str) -> list[IntervalList]:
-                offsets = data[f"{prefix}_offsets"]
-                starts = data[f"{prefix}_starts"]
-                ends = data[f"{prefix}_ends"]
-                lists = []
-                for k in range(offsets.size - 1):
-                    lo, hi = int(offsets[k]), int(offsets[k + 1])
-                    lists.append(IntervalList._from_arrays(starts[lo:hi].copy(), ends[lo:hi].copy()))
-                return lists
-
-            p_lists = unpack("p")
-            c_lists = unpack("c")
+            if version == _RAW_VERSION:
+                approximations = _read_raw(path, data, grid)
+                _observe_payload_bytes("stored", path.stat().st_size, "raw")
+                # The raw layout materialises every plain byte at load.
+                _observe_payload_bytes(
+                    "decoded", sum(a.nbytes for a in approximations), "raw"
+                )
+                return approximations
+            approximations = _read_compressed(path, data, grid)
+            _observe_payload_bytes("stored", path.stat().st_size, "varint")
+            return approximations
         except StoreError:
             raise
         except KeyError as exc:
@@ -181,6 +299,20 @@ def _read_payload(
             # the arrays are being read — not at np.load time.
             raise StoreError(f"{path}: corrupt approximation file: {exc}") from exc
 
+
+def _read_raw(path: Path, data, grid: RasterGrid) -> list[AprilApproximation]:
+    def unpack(prefix: str) -> list[IntervalList]:
+        offsets = data[f"{prefix}_offsets"]
+        starts = data[f"{prefix}_starts"]
+        ends = data[f"{prefix}_ends"]
+        lists = []
+        for k in range(offsets.size - 1):
+            lo, hi = int(offsets[k]), int(offsets[k + 1])
+            lists.append(IntervalList._from_arrays(starts[lo:hi].copy(), ends[lo:hi].copy()))
+        return lists
+
+    p_lists = unpack("p")
+    c_lists = unpack("c")
     if len(p_lists) != len(c_lists):
         raise StoreError(f"{path}: corrupt approximation file: P/C counts differ")
     return [
@@ -188,4 +320,37 @@ def _read_payload(
     ]
 
 
-__all__ = ["StoreError", "load_approximations", "save_approximations"]
+def _read_compressed(path: Path, data, grid: RasterGrid) -> list:
+    codec = str(data["codec"])
+    if codec != "varint":
+        raise StoreError(f"{path}: unknown payload codec {codec!r}")
+    try:
+        blob_bytes = lzma.decompress(data["blob"].tobytes())
+    except lzma.LZMAError as exc:
+        raise StoreError(
+            f"{path}: corrupt approximation file: payload blob fails to "
+            f"decompress: {exc}"
+        ) from exc
+    if int(data["blob_crc32"]) != zlib.crc32(blob_bytes):
+        raise StoreError(
+            f"{path}: corrupt approximation file: payload blob fails its checksum"
+        )
+    blob = np.frombuffer(blob_bytes, dtype=np.uint8)
+    try:
+        sizes = varint_decode(np.ascontiguousarray(data["sizes"], dtype=np.uint8))
+        offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        payload = CompressedAprilPayload.from_blob(grid, blob, offsets)
+    except ValueError as exc:
+        raise StoreError(f"{path}: corrupt approximation file: {exc}") from exc
+    return payload.approximations()
+
+
+__all__ = [
+    "DEFAULT_PAYLOAD_CODEC",
+    "PAYLOAD_CODECS",
+    "StoreError",
+    "load_approximations",
+    "payload_codec",
+    "save_approximations",
+]

@@ -47,13 +47,23 @@ from repro.join.rtree import RTree
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import trace
 from repro.raster.grid import RasterGrid, pad_dataspace
-from repro.raster.storage import StoreError, load_approximations, save_approximations
+from repro.raster.storage import (
+    DEFAULT_PAYLOAD_CODEC,
+    PAYLOAD_CODECS,
+    StoreError,
+    load_approximations,
+    save_approximations,
+)
 from repro.resilience.atomic import atomic_write_text
 from repro.resilience.quarantine import QuarantineReport
 
 log = logging.getLogger("repro.resilience")
 
-MANIFEST_VERSION = 1
+#: Version 2 added the ``payload_codec`` field (PR 7); version-1
+#: manifests are still opened transparently and default to ``raw``,
+#: matching the payloads such indexes actually contain.
+MANIFEST_VERSION = 2
+_READABLE_MANIFEST_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 GEOMETRY_NAME = "geometries.wkt"
 APRIL_DIR = "april"
@@ -174,15 +184,22 @@ class SpatialDataset:
         path: str | Path | None = None,
         source: str | Path | None = None,
         source_sha256: str | None = None,
+        payload_codec: str = DEFAULT_PAYLOAD_CODEC,
     ) -> None:
         geometries = list(geometries)
         if not geometries:
             raise ValueError("a dataset must contain at least one geometry")
+        if payload_codec not in PAYLOAD_CODECS:
+            raise ValueError(
+                f"unknown payload codec {payload_codec!r}; "
+                f"available: {list(PAYLOAD_CODECS)}"
+            )
         self.geometries = geometries
         self.name = name
         self.path = Path(path) if path is not None else None
         self.source = Path(source) if source is not None else None
         self.source_sha256 = source_sha256
+        self.payload_codec = payload_codec
 
     def __len__(self) -> int:
         return len(self.geometries)
@@ -260,9 +277,53 @@ class SpatialDataset:
         aprils = self._build_approximations(grid, workers)
         if payload is not None:
             payload.parent.mkdir(parents=True, exist_ok=True)
-            save_approximations(payload, aprils)
+            if self.payload_codec != "raw":
+                # Encode once, persist the encoded payload, and serve
+                # the same lazy form a warm load would — so cold and
+                # warm joins run the identical decode-aware path. The
+                # fresh decoded objects seed the payload's cache; no
+                # decode work is thrown away.
+                from repro.raster.compression import CompressedAprilPayload
+
+                compressed = CompressedAprilPayload.from_approximations(aprils)
+                for k, approx in enumerate(aprils):
+                    compressed._insert(k, approx)
+                save_approximations(payload, compressed, codec=self.payload_codec)
+                self._register_payload(grid, payload)
+                return compressed.approximations()
+            save_approximations(payload, aprils, codec=self.payload_codec)
             self._register_payload(grid, payload)
         return aprils
+
+    def payload_stats(self, grid: RasterGrid) -> dict | None:
+        """Size accounting of the persisted payload for ``grid``.
+
+        Returns ``None`` for in-memory datasets or before a payload
+        exists; otherwise the on-disk bytes, the plain
+        two-words-per-interval bytes the payload decodes to, and their
+        ratio — the honest compression number ``build-index`` reports
+        (the satellite fix: against *actual on-disk bytes*, not the
+        codec-stream length).
+        """
+        from repro.raster.storage import payload_codec as read_codec
+
+        payload = self.approximation_path(grid)
+        if payload is None or not payload.exists():
+            return None
+        aprils = load_approximations(payload, expected_grid=grid, on_error="rebuild")
+        if aprils is None:
+            return None
+        stored = payload.stat().st_size
+        plain = sum(a.nbytes for a in aprils)
+        return {
+            "file": str(payload),
+            "codec": read_codec(payload),
+            "count": len(aprils),
+            "stored_bytes": stored,
+            "plain_bytes": plain,
+            "bytes_per_object": stored / max(1, len(aprils)),
+            "compression_ratio": plain / stored if stored else 1.0,
+        }
 
     def _build_approximations(self, grid: RasterGrid, workers: int | None) -> list:
         from repro.parallel import build_april_parallel
@@ -286,6 +347,7 @@ class SpatialDataset:
             "source": str(self.source) if self.source else None,
             "source_sha256": self.source_sha256,
             "extent": [ext.xmin, ext.ymin, ext.xmax, ext.ymax],
+            "payload_codec": self.payload_codec,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "approximations": [],
         }
@@ -307,6 +369,7 @@ class SpatialDataset:
             "grid_order": grid.order,
             "dataspace": [ds.xmin, ds.ymin, ds.xmax, ds.ymax],
             "count": len(self),
+            "codec": self.payload_codec,
         }
         entries = [
             e for e in manifest.get("approximations", []) if e["file"] != entry["file"]
@@ -328,6 +391,7 @@ class SpatialDataset:
             path=index_dir,
             source=self.source,
             source_sha256=self.source_sha256,
+            payload_codec=self.payload_codec,
         )
         persistent._write_manifest(persistent._manifest())
         return persistent
@@ -377,10 +441,10 @@ class SpatialDataset:
         except json.JSONDecodeError as exc:
             raise StoreError(f"{manifest_path}: corrupt manifest: {exc}") from exc
         version = manifest.get("format_version")
-        if version != MANIFEST_VERSION:
+        if version not in _READABLE_MANIFEST_VERSIONS:
             raise StoreError(
                 f"{index_dir}: unsupported index format version {version!r} "
-                f"(this build reads version {MANIFEST_VERSION})"
+                f"(this build reads versions {list(_READABLE_MANIFEST_VERSIONS)})"
             )
         if source is not None:
             fingerprint = file_sha256(source)
@@ -401,6 +465,10 @@ class SpatialDataset:
             path=index_dir,
             source=manifest.get("source"),
             source_sha256=manifest.get("source_sha256"),
+            # Version-1 manifests predate the codec field; their indexes
+            # hold raw payloads, and new payloads written into them stay
+            # raw so the directory remains readable by the old build.
+            payload_codec=manifest.get("payload_codec", "raw"),
         )
         if dataset.content_hash != manifest.get("content_hash"):
             raise StoreError(
@@ -463,13 +531,16 @@ def build_dataset(
     name: str | None = None,
     strict: bool = True,
     quarantine: QuarantineReport | None = None,
+    payload_codec: str = DEFAULT_PAYLOAD_CODEC,
 ) -> SpatialDataset:
     """Build a persistent index for a ``.wkt``/``.geojson`` source file.
 
     With ``grid_order`` set, the APRIL payload for the dataset's *own*
     padded-extent grid is precomputed too (warm self-joins / selection);
     payloads for join-partner union grids are added lazily by the first
-    cold join against each partner.
+    cold join against each partner. ``payload_codec`` selects the
+    on-disk payload layout: ``"varint"`` (default, compressed) or
+    ``"raw"`` (the version-1 flat arrays older builds read).
     """
     source = Path(source)
     t0 = time.perf_counter()
@@ -479,6 +550,7 @@ def build_dataset(
         name=name or source.stem,
         source=source,
         source_sha256=file_sha256(source),
+        payload_codec=payload_codec,
     )
     persistent = dataset.save(index_dir)
     if grid_order is not None:

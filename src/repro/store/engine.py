@@ -60,6 +60,7 @@ from repro.optimizer.cost import (
     fallback_decision,
     load_cost_model,
 )
+from repro.raster.compression import LazyAprilApproximation
 from repro.raster.grid import RasterGrid, pad_dataspace
 from repro.store.dataset import (
     MANIFEST_NAME,
@@ -141,12 +142,16 @@ class Engine:
         max_datasets: int = 8,
         max_object_sets: int = 16,
         max_pair_sets: int = 32,
+        max_payload_sets: int = 16,
+        max_decoded_payload_bytes: int | None = None,
         calibration: str | Path | CalibrationProfile | CostModel | None = None,
     ) -> None:
         self._datasets = _LRU(max_datasets, "dataset")
         self._objects = _LRU(max_object_sets, "objects")
         self._pairs = _LRU(max_pair_sets, "pairs")
         self._histograms = _LRU(max_pair_sets, "histogram")
+        self._payloads = _LRU(max_payload_sets, "payload")
+        self.max_decoded_payload_bytes = max_decoded_payload_bytes
         self.cost_model = self._resolve_calibration(calibration)
 
     @staticmethod
@@ -263,10 +268,33 @@ class Engine:
             ]
             self._objects.put(key, objects)
         if with_april and objects and objects[0].april is None:
-            aprils = dataset.approximations(grid, workers=workers)
+            aprils = self._approximations(dataset, grid, workers)
             for obj, approx in zip(objects, aprils):
                 obj.april = approx
         return objects
+
+    def _approximations(self, dataset: SpatialDataset, grid: RasterGrid, workers):
+        """The dataset's approximation list for ``grid``, LRU-cached.
+
+        Compressed payloads carry their own bounded decoded-object
+        cache, so keeping the *list* alive across object-set rebuilds
+        is what lets repeated warm joins amortise decode work instead
+        of re-reading and re-decoding the blob every time. The entry is
+        keyed like the object set (content hash + grid identity); a
+        mutated dataset therefore misses and reloads.
+        """
+        key = (dataset.content_hash, _grid_identity(grid))
+        aprils = self._payloads.get(key)
+        if aprils is None:
+            aprils = dataset.approximations(grid, workers=workers)
+            if (
+                self.max_decoded_payload_bytes is not None
+                and aprils
+                and isinstance(aprils[0], LazyAprilApproximation)
+            ):
+                aprils[0].payload.max_decoded_bytes = self.max_decoded_payload_bytes
+            self._payloads.put(key, aprils)
+        return aprils
 
     def pairs(self, r: SpatialDataset, s: SpatialDataset) -> list[tuple[int, int]]:
         """The MBR filter step for the dataset pair, cached and sorted."""
@@ -287,6 +315,7 @@ class Engine:
         self._objects.clear()
         self._pairs.clear()
         self._histograms.clear()
+        self._payloads.clear()
 
     # ------------------------------------------------------------------
     # cost-model support
@@ -465,11 +494,16 @@ class Engine:
                 warm=self._april_warm(rd, grid) and self._april_warm(sd, grid),
                 needs_april=needs_april,
             )
-            # Auto arbitrates serial vs parallel (the decision the
-            # recorded 0.75× regression hinged on); disk joins the race
-            # only above the profile's pair threshold, and batch stays
-            # an explicit opt-in (its prediction is still reported).
-            candidates = ["serial", "parallel"]
+            # Auto arbitrates serial vs batch vs parallel (serial first,
+            # so calibration ties — like bench-seeded profiles that carry
+            # serial's per-pair cost for batch — keep the historical
+            # pick); disk joins the race only above the profile's pair
+            # threshold. Batch implements the P+C find-relation pipeline
+            # only, so other methods and relate_p joins keep the old set.
+            candidates = ["serial"]
+            if predicate is None and method == "P+C":
+                candidates.append("batch")
+            candidates.append("parallel")
             if predicate is None:
                 candidates.append("disk")
             decision = self._decide_auto(features, candidates)
@@ -571,7 +605,11 @@ class Engine:
                 warm=True,  # objects arrive prepared; nothing left to rasterise
                 needs_april=predicate is not None or PIPELINES[method].uses_april,
             )
-            decision = self._decide_auto(features, ("serial", "parallel"))
+            candidates = ["serial"]
+            if predicate is None and method == "P+C":
+                candidates.append("batch")
+            candidates.append("parallel")
+            decision = self._decide_auto(features, candidates)
             mode = decision.mode
             workers = effective
         effective = 1 if mode == "serial" else workers

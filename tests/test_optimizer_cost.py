@@ -31,20 +31,25 @@ from repro.store import Engine
 def make_profile(
     *,
     serial_pp=2e-6,
+    batch_pp=None,
     parallel_pp=4e-6,
     parallel_startup=0.04,
     cpu=None,
     measured_workers=2,
 ):
     """A synthetic profile; defaults model this repo's 1-core box where
-    the parallel path costs more per pair than serial."""
+    the parallel path costs more per pair than serial and batch ties
+    serial (the bench-seeded shape)."""
     machine = CalibrationProfile.machine_fingerprint()
     if cpu is not None:
         machine["cpu_count"] = cpu
     return CalibrationProfile(
         modes={
             "serial": ModeCost(startup=0.0, per_pair=serial_pp),
-            "batch": ModeCost(startup=0.0, per_pair=serial_pp),
+            "batch": ModeCost(
+                startup=0.0,
+                per_pair=serial_pp if batch_pp is None else batch_pp,
+            ),
             "parallel": ModeCost(startup=parallel_startup, per_pair=parallel_pp),
         },
         machine=machine,
@@ -312,6 +317,40 @@ class TestEngineAuto:
         )
         assert run.mode == "serial"
         assert run.meta["cost_model"]["features"]["pairs"] == float(len(pairs))
+
+    def test_auto_picks_batch_when_profile_favors_it(self, inputs):
+        # A profile where the vectorised P+C runner is 10x cheaper per
+        # pair must route auto to batch — and the batch rows must stay
+        # bit-identical to serial's.
+        districts, blobs = inputs
+        engine = Engine(calibration=make_profile(cpu=1, batch_pp=2e-7))
+        run = engine.join(districts, blobs, grid_order=9, workers=4)
+        assert run.mode == "batch"
+        meta = run.meta["cost_model"]
+        assert meta["source"] == "calibration"
+        assert meta["predicted_seconds"]["batch"] < (
+            meta["predicted_seconds"]["serial"]
+        )
+        serial = engine.join(districts, blobs, grid_order=9, mode="serial")
+        assert _rows(run) == _rows(serial)
+
+    def test_auto_batch_tie_resolves_serial_first(self):
+        # Bench-seeded profiles carry serial's per-pair cost for batch;
+        # the tie must keep the historical serial pick.
+        model = CostModel(make_profile(cpu=1))
+        decision = model.decide(
+            features(100_000, cpu=1), ["serial", "batch", "parallel"]
+        )
+        assert decision.mode == "serial"
+        assert decision.predicted["batch"] == decision.predicted["serial"]
+
+    def test_auto_batch_excluded_for_other_methods(self, inputs):
+        # Batch implements only the P+C find-relation pipeline; with a
+        # batch-favoring profile an APRIL-method join must not pick it.
+        districts, blobs = inputs
+        engine = Engine(calibration=make_profile(cpu=1, batch_pp=2e-7))
+        run = engine.join(districts, blobs, grid_order=9, method="APRIL")
+        assert run.mode == "serial"
 
     def test_library_engine_never_discovers_profiles(self, tmp_path, monkeypatch):
         # Bare Engine() must stay deterministic even when a profile
