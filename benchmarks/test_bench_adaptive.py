@@ -10,7 +10,6 @@ explicitly-measured mode. Every run appends an entry to the
 ``BENCH_adaptive.json`` trajectory at the repo root.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -32,11 +31,9 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_adaptive.json"
 
 
 def record(entry: dict) -> None:
-    trajectory = []
-    if BENCH_PATH.exists():
-        trajectory = json.loads(BENCH_PATH.read_text())
-    trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
 
 
 def _rows(run):

@@ -45,11 +45,9 @@ PARALLEL_BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json
 
 
 def record(entry: dict) -> None:
-    trajectory = []
-    if BENCH_PATH.exists():
-        trajectory = json.loads(BENCH_PATH.read_text())
-    trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
 
 
 def best_seconds(fn, target=0.1, rounds=3) -> float:

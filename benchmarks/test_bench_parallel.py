@@ -10,7 +10,6 @@ single-core containers — where true parallel speedup is physically
 impossible and only the overhead shows — interpretable).
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -32,11 +31,9 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
 
 
 def record(entry: dict) -> None:
-    trajectory = []
-    if BENCH_PATH.exists():
-        trajectory = json.loads(BENCH_PATH.read_text())
-    trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
 
 
 @pytest.fixture(scope="module")

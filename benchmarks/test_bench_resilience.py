@@ -44,11 +44,9 @@ BASELINE_PATH = REPO_ROOT / "BENCH_parallel.json"
 
 
 def record(entry: dict) -> None:
-    trajectory = []
-    if BENCH_PATH.exists():
-        trajectory = json.loads(BENCH_PATH.read_text())
-    trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
 
 
 def comparable_baseline_ratios() -> list[float]:

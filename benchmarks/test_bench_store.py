@@ -9,7 +9,6 @@ appends an entry to the ``BENCH_store.json`` trajectory at the repo
 root so the warm-path speedup is tracked across commits.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -29,11 +28,9 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_store.json"
 
 
 def record(entry: dict) -> None:
-    trajectory = []
-    if BENCH_PATH.exists():
-        trajectory = json.loads(BENCH_PATH.read_text())
-    trajectory.append(entry)
-    BENCH_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
 
 
 def _rows(run):

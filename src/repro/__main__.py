@@ -24,7 +24,15 @@ and skips rasterisation entirely.
 Observability (``join`` subcommand)::
 
     python -m repro join r.wkt s.wkt --trace trace.json --metrics-out m.json \
-        --explain-sample 3 --run-log runs.jsonl --progress
+        --explain-sample 3 --run-log runs.jsonl --progress --profile prof.txt
+
+``--profile`` turns on the sampling profiler and resource accounting for
+the run: collapsed flamegraph stacks land in PATH, the per-phase
+self-time table on stderr, and both payloads in the ``--run-log``
+report. ``report`` renders run logs and bench trajectories into one
+static HTML dashboard::
+
+    python -m repro report runs.jsonl --out report.html --bench-root .
 
 The experiment harness has its own entry point
 (``python -m repro.experiments``), as does the dataset catalog
@@ -103,6 +111,16 @@ def _setup_obs(args: argparse.Namespace) -> None:
         obs.reset_metrics()
     if args.progress:
         obs.set_progress(True)
+    if args.profile:
+        obs.set_profiling(True)
+        obs.reset_profile()
+        obs.set_resources(True)
+        obs.reset_resources()
+        if not args.trace:
+            # The phase table's rows come from the span tree; profile
+            # without an explicit --trace still needs spans collected.
+            obs.set_tracing(True)
+            obs.reset_tracing()
 
 
 def _emit_obs(
@@ -151,6 +169,26 @@ def _emit_obs(
             args.metrics_out, obs.get_registry()
         )
         print(f"# wrote metrics to {json_path} and {prom_path}", file=sys.stderr)
+    profile_payload = None
+    if args.profile:
+        payload = obs.export_profile()
+        if payload is not None:
+            spans = obs.get_spans() if args.trace else None
+            rows = obs.phase_table(spans=spans, payload=payload)
+            profile_payload = {**payload, "phase_table": rows}
+            Path(args.profile).write_text(
+                obs.collapsed_stacks(payload) + "\n", encoding="utf-8"
+            )
+            print(
+                f"# wrote {payload['samples']} collapsed profile samples "
+                f"to {args.profile}",
+                file=sys.stderr,
+            )
+            for line in obs.format_phase_table(rows).splitlines():
+                print(f"# {line}", file=sys.stderr)
+        # Stop sampling: a live ITIMER_PROF outliving its handler would
+        # kill the interpreter on the way out.
+        obs.set_profiling(False)
     if args.run_log:
         report = obs.RunReport(
             kind="join_run",
@@ -158,6 +196,8 @@ def _emit_obs(
             stats=stats.to_dict(),
             spans=obs.export_spans() if args.trace else [],
             metrics=obs.get_registry().to_dict() if args.metrics_out else None,
+            profile=profile_payload,
+            resources=run.meta.get("resources"),
             explain_samples=explain_samples,
             meta={
                 "r_file": args.r,
@@ -273,6 +313,42 @@ def cmd_join(args: argparse.Namespace) -> int:
         if decision_meta is not None:
             extra["cost_model"] = decision_meta
         _emit_obs(args, run, r_objects, s_objects, extra)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import obs
+
+    runs: list[dict] = []
+    if args.run_log:
+        path = Path(args.run_log)
+        if not path.exists():
+            raise SystemExit(f"{args.run_log}: no such run log")
+        for line in path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                runs.append(_json.loads(line))
+            except ValueError as exc:
+                raise SystemExit(f"{args.run_log}: malformed JSONL line: {exc}") from exc
+        if args.latest > 0:
+            runs = runs[-args.latest:]
+    trends = None
+    trajectories = obs.load_trajectories(args.bench_root)
+    if trajectories:
+        trends = [t.to_dict() for t in obs.compute_trends(trajectories)]
+    out = obs.write_dashboard(args.out, runs, trends=trends)
+    print(f"wrote dashboard to {out} ({out.stat().st_size:,} bytes)")
+    if trends is not None:
+        regressions = [t for t in trends if t.get("flagged")]
+        report = {"checked": len(trends), "regressions": regressions}
+        for line in obs.format_regressions(report).splitlines():
+            print(f"# {line}", file=sys.stderr)
+        if regressions and args.fail_on_regression:
+            return 1
     return 0
 
 
@@ -487,6 +563,13 @@ def main(argv: list[str] | None = None) -> int:
         help="per-worker heartbeat lines on stderr during the run",
     )
     p.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="enable the sampling profiler + resource accounting; write "
+             "collapsed flamegraph stacks to PATH and the per-phase "
+             "self-time table to stderr (sampling interval via "
+             "$REPRO_PROFILE_INTERVAL, default 5ms)",
+    )
+    p.add_argument(
         "--partition-timeout", type=float, default=None, metavar="SECONDS",
         help="per-partition deadline for parallel runs; a partition that "
              "exceeds it is retried, then re-executed serially (default 300)",
@@ -507,6 +590,32 @@ def main(argv: list[str] | None = None) -> int:
              "aborting the load",
     )
     p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser(
+        "report",
+        help="render run logs + bench trajectories into a static HTML dashboard",
+    )
+    p.add_argument(
+        "run_log", nargs="?", default=None,
+        help="JSONL run log written by join --run-log (optional)",
+    )
+    p.add_argument(
+        "--out", default="report.html", metavar="PATH",
+        help="dashboard destination (default report.html)",
+    )
+    p.add_argument(
+        "--bench-root", default=".", metavar="DIR",
+        help="directory holding BENCH_*.json trajectories (default .)",
+    )
+    p.add_argument(
+        "--latest", type=int, default=5, metavar="N",
+        help="render only the newest N run reports (default 5; 0 = all)",
+    )
+    p.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when the bench-trend gate flags a regression",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "calibrate",

@@ -232,5 +232,39 @@ class TopologyJoin:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
         return self._execute(method).stats
 
+    def report(self) -> "RunReport":
+        """Structured :class:`~repro.obs.report.RunReport` of the last run.
+
+        Bundles whatever observability was enabled around the run —
+        stats always; spans, metrics, profiler payload (with its phase
+        table) and resource summary when the corresponding collectors
+        were on. Raises :class:`RuntimeError` before any run.
+        """
+        from repro.obs.metrics import get_registry, metrics_enabled
+        from repro.obs.profile import export_profile, phase_table, profiling_enabled
+        from repro.obs.report import RunReport
+        from repro.obs.trace import export_spans, tracing_enabled
+
+        run = self.last_run
+        if run is None:
+            raise RuntimeError("no join has run yet; call run() first")
+        profile = None
+        if profiling_enabled():
+            payload = export_profile()
+            if payload is not None:
+                profile = {**payload, "phase_table": phase_table(payload=payload)}
+        return RunReport(
+            kind=run.kind,
+            method=run.method,
+            stats=run.stats.to_dict(),
+            spans=export_spans() if tracing_enabled() else [],
+            metrics=get_registry().to_dict() if metrics_enabled() else None,
+            profile=profile,
+            resources=run.meta.get("resources"),
+            meta={
+                k: v for k, v in run.meta.items() if k != "resources"
+            },
+        )
+
 
 __all__ = ["JoinResult", "TopologyJoin"]

@@ -24,6 +24,7 @@ from repro.filters.mbr import MBRRelationship
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.stats import JoinRunStats
 from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.profile import clear_phase, profiling_enabled, set_phase
 from repro.obs.trace import add_span, trace
 from repro.topology.de9im import TopologicalRelation as T, most_specific_relation
 from repro.topology.relate import relate
@@ -156,21 +157,30 @@ def run_find_relation_batch_outcomes(
         stats.filter_seconds = time.perf_counter() - start
 
         start = time.perf_counter()
-        for (i, j, candidates), case in zip(to_refine, refine_cases):
-            matrix = relate(
-                r_objects[i].access_geometry(), s_objects[j].access_geometry()
-            )
-            relation = most_specific_relation(matrix, candidates)
-            stats.record(relation, "refinement")
-            outcomes.append((i, j, relation, False))
-            if registry is not None:
-                registry.inc(
-                    "repro_verdicts_total",
-                    method="P+C",
-                    case=case.value,
-                    stage="refinement",
-                    relation=relation.value,
+        # The refinement block runs outside any open span (the aggregate
+        # ``refine`` span is attached after with its measured duration),
+        # so the sampling profiler needs an explicit phase marker here —
+        # two calls for the whole stage, nothing per pair.
+        if profiling_enabled():
+            set_phase("refine")
+        try:
+            for (i, j, candidates), case in zip(to_refine, refine_cases):
+                matrix = relate(
+                    r_objects[i].access_geometry(), s_objects[j].access_geometry()
                 )
+                relation = most_specific_relation(matrix, candidates)
+                stats.record(relation, "refinement")
+                outcomes.append((i, j, relation, False))
+                if registry is not None:
+                    registry.inc(
+                        "repro_verdicts_total",
+                        method="P+C",
+                        case=case.value,
+                        stage="refinement",
+                        relation=relation.value,
+                    )
+        finally:
+            clear_phase()
         stats.refine_seconds = time.perf_counter() - start
         add_span("refine", stats.refine_seconds, pairs=len(to_refine))
 

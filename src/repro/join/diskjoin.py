@@ -30,6 +30,7 @@ from repro.join.pipeline import PIPELINES, Stage
 from repro.join.run import JoinResult, JoinRun
 from repro.join.stats import JoinRunStats
 from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.progress import progress_reporter
 from repro.obs.trace import trace
 from repro.raster.april import build_april
 from repro.raster.grid import RasterGrid, pad_dataspace
@@ -207,13 +208,24 @@ class DiskPartitionedJoin:
                         )
 
                     tile_stats = JoinRunStats(method=self.method)
+                    reporter = progress_reporter(
+                        f"{self.method} tile={tx},{ty}", len(owned)
+                    )
                     clock = time.perf_counter
-                    for i, j in owned:
+                    for k, (i, j) in enumerate(owned):
+                        if reporter is not None and (k & 255) == 0:
+                            reporter.tick(k, detail=f"{tile_stats.refined} refined")
                         t0 = clock()
                         outcome = pipeline.find_relation(r_objects[i], s_objects[j])
                         elapsed = clock() - t0
                         if outcome.stage is Stage.REFINEMENT:
                             tile_stats.refine_seconds += elapsed
+                            if registry is not None:
+                                registry.observe(
+                                    "repro_refine_latency_seconds",
+                                    elapsed,
+                                    method=self.method,
+                                )
                         else:
                             tile_stats.filter_seconds += elapsed
                         tile_stats.record(outcome.relation, outcome.stage.value)
@@ -227,6 +239,8 @@ class DiskPartitionedJoin:
                                 outcome.stage is not Stage.REFINEMENT,
                             )
                         )
+                    if reporter is not None:
+                        reporter.finish(detail=f"{tile_stats.refined} refined")
                     total_stats = total_stats.merge(tile_stats)
         results.sort(key=lambda link: (link.r_index, link.s_index))
         return results, total_stats, max(tiles_joined, 1)

@@ -40,7 +40,8 @@ from repro.filters.mbr import MBRRelationship, classify_mbr_pair, mbr_candidates
 from repro.filters.relate_filters import RelateVerdict, relate_filter
 from repro.join.objects import SpatialObject, reset_access_tracking
 from repro.join.stats import JoinRunStats
-from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.metrics import Histogram, get_registry, metrics_enabled
+from repro.obs.profile import clear_phase, profiling_enabled, set_phase
 from repro.obs.progress import progress_reporter
 from repro.obs.trace import add_span, trace
 from repro.topology.de9im import (
@@ -113,7 +114,17 @@ class Pipeline(ABC):
         if verdict.definite is not None:
             return FindRelationOutcome(verdict.definite, stage)
         assert verdict.refine_candidates is not None
-        relation = self.refine_pair(r, s, verdict.refine_candidates)
+        # Phase marker for callers that drive pairs through this entry
+        # point directly (disk-join tiles): without it their refinement
+        # samples fold into the surrounding structural span.
+        if profiling_enabled():
+            set_phase("refine")
+            try:
+                relation = self.refine_pair(r, s, verdict.refine_candidates)
+            finally:
+                clear_phase()
+        else:
+            relation = self.refine_pair(r, s, verdict.refine_candidates)
         return FindRelationOutcome(relation, Stage.REFINEMENT)
 
 
@@ -272,6 +283,14 @@ PIPELINES: dict[str, Pipeline] = {
 }
 
 
+def _latency_line(hist: Histogram) -> str:
+    """The one-line p50/p95 refine-latency summary ``--progress`` emits."""
+    return (
+        f"refine latency p50={hist.quantile(0.50) * 1e3:.3f}ms "
+        f"p95={hist.quantile(0.95) * 1e3:.3f}ms over {hist.count} refined"
+    )
+
+
 def run_find_relation(
     pipeline: Pipeline | str,
     r_objects: Sequence[SpatialObject],
@@ -307,6 +326,11 @@ def run_find_relation(
             else None
         )
         reporter = progress_reporter(pipeline.name, len(pairs))
+        latencies = Histogram() if reporter is not None else None
+        # Local bool so the profiler-off path costs one check per
+        # refined pair; the markers attribute the per-pair refinement
+        # (which runs *between* spans) to the ``refine`` phase.
+        profiling = profiling_enabled()
 
         t0 = clock()
         with trace("filter", pairs=len(pairs)):
@@ -327,12 +351,18 @@ def run_find_relation(
                     )
                 continue
             assert verdict.refine_candidates is not None
+            if profiling:
+                set_phase("refine")
             t1 = clock()
             relation = pipeline.refine_pair(
                 r_objects[i], s_objects[j], verdict.refine_candidates
             )
             elapsed = clock() - t1
+            if profiling:
+                clear_phase()
             stats.refine_seconds += elapsed
+            if latencies is not None:
+                latencies.observe(elapsed)
             stats.record(relation, "refinement")
             if registry is not None:
                 registry.inc(
@@ -351,6 +381,8 @@ def run_find_relation(
         add_span("refine", stats.refine_seconds, pairs=stats.refined)
         if reporter is not None:
             reporter.finish(detail=f"{stats.refined} refined")
+            if latencies is not None and latencies.count:
+                reporter.summary(_latency_line(latencies))
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)
@@ -372,7 +404,14 @@ def relate_predicate(
         return True, Stage.INTERMEDIATE
     if verdict is RelateVerdict.NO:
         return False, Stage.INTERMEDIATE
-    matrix = relate(r.access_geometry(), s.access_geometry())
+    if profiling_enabled():
+        set_phase("refine")
+        try:
+            matrix = relate(r.access_geometry(), s.access_geometry())
+        finally:
+            clear_phase()
+    else:
+        matrix = relate(r.access_geometry(), s.access_geometry())
     return relation_holds(matrix, predicate), Stage.REFINEMENT
 
 
@@ -394,11 +433,15 @@ def run_relate(
     with trace("run_relate", predicate=predicate.value, pairs=len(pairs)):
         registry = get_registry() if metrics_enabled() else None
         reporter = progress_reporter(stats.method, len(pairs))
+        latencies = Histogram() if reporter is not None else None
+        profiling = profiling_enabled()
         for k, (i, j) in enumerate(pairs):
             if reporter is not None and (k & 255) == 0:
                 reporter.tick(k, detail=f"{stats.refined} refined")
             r = r_objects[i]
             s = s_objects[j]
+            if profiling:
+                set_phase("filter")
             t0 = clock()
             verdict = relate_filter(
                 predicate, r.box, s.box, r.require_april(), s.require_april(),
@@ -407,6 +450,8 @@ def run_relate(
             t1 = clock()
             stats.filter_seconds += t1 - t0
             if verdict is not RelateVerdict.UNKNOWN:
+                if profiling:
+                    clear_phase()
                 stats.pairs += 1
                 stats.resolved_if += 1
                 if verdict is RelateVerdict.YES:
@@ -419,10 +464,16 @@ def run_relate(
                         verdict=verdict.value,
                     )
                 continue
+            if profiling:
+                set_phase("refine")
             matrix = relate(r.access_geometry(), s.access_geometry())
             holds = relation_holds(matrix, predicate)
             elapsed = clock() - t1
+            if profiling:
+                clear_phase()
             stats.refine_seconds += elapsed
+            if latencies is not None:
+                latencies.observe(elapsed)
             stats.pairs += 1
             stats.refined += 1
             if holds:
@@ -441,6 +492,8 @@ def run_relate(
         add_span("refine", stats.refine_seconds, pairs=stats.refined)
         if reporter is not None:
             reporter.finish(detail=f"{stats.refined} refined")
+            if latencies is not None and latencies.count:
+                reporter.summary(_latency_line(latencies))
 
     stats.r_objects_accessed = sum(1 for o in r_objects if o.geometry_accessed)
     stats.s_objects_accessed = sum(1 for o in s_objects if o.geometry_accessed)

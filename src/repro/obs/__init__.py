@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability for the join pipeline.
 
-Three cooperating parts, all off by default and all stdlib-only:
+Cooperating parts, all off by default and all stdlib-only:
 
 - :mod:`repro.obs.trace` — hierarchical span tracer. Stage-, tile- and
   partition-level spans nested into one tree per run; ~ns disabled
@@ -8,19 +8,45 @@ Three cooperating parts, all off by default and all stdlib-only:
   deterministic partition order.
 - :mod:`repro.obs.metrics` — labelled counters and fixed-log-bucket
   histograms (verdicts per MBR case, interval-list lengths, refinement
-  latency, pairs per worker/tile), exported as JSON and Prometheus
-  text exposition; per-worker registries merge exactly.
+  latency, pairs per worker/tile) with derived p50/p90/p99 quantiles,
+  exported as JSON and Prometheus text exposition; per-worker
+  registries merge exactly.
+- :mod:`repro.obs.profile` — statistical sampling profiler attributing
+  samples to the active span/phase; collapsed-stack flamegraph export
+  and a deterministic per-phase self-time table.
+- :mod:`repro.obs.resources` — phase-level resource accounting:
+  tracemalloc peaks per span, process max-RSS, payload stored/decoded
+  bytes joined from the metric counters.
 - :mod:`repro.obs.report` — structured run reports and the JSONL run
   log; sampled per-pair deep traces reuse :mod:`repro.join.explain`.
+- :mod:`repro.obs.bench` — bench-trajectory ingestion (``BENCH_*.json``
+  under a common envelope), per-metric trends, and the noise-aware
+  regression gate.
+- :mod:`repro.obs.dashboard` — everything above rendered into one
+  self-contained static HTML file (``repro report``).
 - :mod:`repro.obs.progress` — throttled per-worker heartbeats.
 
 Enable pieces independently (``set_tracing`` / ``set_metrics`` /
-``set_progress``) or everything at once with :func:`enable_all`; the
-CLI flags ``--trace``, ``--metrics-out``, ``--progress`` map onto
-these. The submodules import nothing from ``repro`` at module level,
-so every layer — geometry to CLI — may instrument itself freely.
+``set_progress`` / ``set_profiling`` / ``set_resources``) or the
+always-cheap trio at once with :func:`enable_all`; the CLI flags
+``--trace``, ``--metrics-out``, ``--progress``, ``--profile`` map onto
+these. The deep-measurement pair (profiler, resource accounting) stays
+opt-in even under :func:`enable_all` because tracemalloc and sampling
+carry real enabled-path cost. The submodules import nothing from
+``repro`` at module level, so every layer — geometry to CLI — may
+instrument itself freely.
 """
 
+from repro.obs.bench import (
+    Trend,
+    append_entry,
+    check_regressions,
+    compute_trends,
+    format_regressions,
+    load_trajectories,
+    make_envelope,
+)
+from repro.obs.dashboard import render_dashboard, write_dashboard
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
@@ -29,6 +55,16 @@ from repro.obs.metrics import (
     parse_prometheus,
     reset_metrics,
     set_metrics,
+)
+from repro.obs.profile import (
+    collapsed_stacks,
+    export_profile,
+    format_phase_table,
+    merge_profiles,
+    phase_table,
+    profiling_enabled,
+    reset_profile,
+    set_profiling,
 )
 from repro.obs.progress import (
     ProgressReporter,
@@ -43,22 +79,38 @@ from repro.obs.report import (
     sample_explanations,
     write_metrics_files,
 )
+from repro.obs.resources import (
+    export_resources,
+    merge_resources,
+    reset_resources,
+    resources_enabled,
+    run_resources,
+    set_resources,
+)
 from repro.obs.trace import (
     Span,
     add_span,
     attach_spans,
     export_spans,
     get_spans,
+    register_span_hook,
     reset_tracing,
     set_tracing,
     span_totals,
     trace,
     tracing_enabled,
+    unregister_span_hook,
 )
 
 
 def enable_all() -> None:
-    """Switch tracing, metrics and progress on together."""
+    """Switch tracing, metrics and progress on together.
+
+    The sampling profiler and resource accounting are *not* included:
+    both have measurable enabled-path cost (signal delivery per
+    interval; tracemalloc on every allocation) and are enabled
+    explicitly via ``set_profiling`` / ``set_resources``.
+    """
     set_tracing(True)
     set_metrics(True)
     set_progress(True)
@@ -69,8 +121,12 @@ def disable_all() -> None:
     set_tracing(False)
     set_metrics(False)
     set_progress(False)
+    set_profiling(False)
+    set_resources(False)
     reset_tracing()
     reset_metrics()
+    reset_profile()
+    reset_resources()
 
 
 __all__ = [
@@ -79,27 +135,52 @@ __all__ = [
     "ProgressReporter",
     "RunReport",
     "Span",
+    "Trend",
     "add_span",
+    "append_entry",
     "append_jsonl",
     "attach_spans",
+    "check_regressions",
+    "collapsed_stacks",
+    "compute_trends",
     "disable_all",
     "enable_all",
+    "export_profile",
+    "export_resources",
     "export_spans",
+    "format_phase_table",
+    "format_regressions",
     "get_registry",
     "get_spans",
+    "load_trajectories",
+    "make_envelope",
+    "merge_profiles",
+    "merge_resources",
     "metrics_enabled",
     "parse_prometheus",
+    "phase_table",
+    "profiling_enabled",
     "progress_enabled",
     "progress_reporter",
     "read_jsonl",
+    "register_span_hook",
+    "render_dashboard",
     "reset_metrics",
+    "reset_profile",
+    "reset_resources",
     "reset_tracing",
+    "resources_enabled",
+    "run_resources",
     "sample_explanations",
     "set_metrics",
+    "set_profiling",
     "set_progress",
+    "set_resources",
     "set_tracing",
     "span_totals",
     "trace",
     "tracing_enabled",
+    "unregister_span_hook",
+    "write_dashboard",
     "write_metrics_files",
 ]

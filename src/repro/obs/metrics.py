@@ -80,6 +80,44 @@ class Histogram:
         self.count += other.count
         self.sum += other.sum
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile via log-linear bucket interpolation.
+
+        The rank lands in some bucket ``[2**e, 2**(e+1))``; within it
+        the mass is assumed uniform in *log space* (the same geometric
+        model the bucketing itself uses), so the estimate is
+        ``2**(e + frac)`` where ``frac`` is the rank's position inside
+        the bucket. Exact at bucket boundaries, at most a factor-of-2
+        off inside one — matching the histogram's resolution. Underflow
+        observations (``<= 0``) estimate as ``0.0``. Returns ``0.0``
+        for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for e in sorted(self.buckets):
+            n = self.buckets[e]
+            running += n
+            if running >= target:
+                if e == _UNDERFLOW:
+                    return 0.0
+                frac = 1.0 - (running - target) / n
+                return 2.0 ** (e + frac)
+        # Unreachable (running == count >= target), defensive bound.
+        top = max(self.buckets)
+        return 0.0 if top == _UNDERFLOW else 2.0 ** (top + 1)
+
+    def quantiles(self) -> dict[str, float]:
+        """The standard derived quantiles exported everywhere: p50/p90/p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> dict[str, Any]:
         # Bucket keys as the upper bound of each half-open range.
         return {
@@ -89,6 +127,7 @@ class Histogram:
                 ("0" if e == _UNDERFLOW else repr(2.0 ** (e + 1))): n
                 for e, n in sorted(self.buckets.items())
             },
+            "quantiles": self.quantiles(),
         }
 
     def cumulative(self) -> list[tuple[float, int]]:
@@ -202,6 +241,20 @@ class MetricsRegistry:
                 lines.append(f"{name}_bucket{_format_labels(bucket_key)} {cumulative}")
             inf_key = key + (("le", "+Inf"),)
             lines.append(f"{name}_bucket{_format_labels(inf_key)} {hist.count}")
+            lines.append(f"{name}_sum{_format_labels(key)} {hist.sum!r}")
+            lines.append(f"{name}_count{_format_labels(key)} {hist.count}")
+        # Derived quantiles ride in a sibling ``{name}_summary`` family
+        # (one TYPE per metric name is a format invariant, so the
+        # summary lines cannot share the histogram's family) — emitted
+        # after all histograms to keep each family's samples contiguous.
+        for (name, key), hist in sorted(self.histograms.items()):
+            name = _sanitize(name) + "_summary"
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} summary")
+            for q_label, q in (("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)):
+                q_key = key + (("quantile", q_label),)
+                lines.append(f"{name}{_format_labels(q_key)} {hist.quantile(q)!r}")
             lines.append(f"{name}_sum{_format_labels(key)} {hist.sum!r}")
             lines.append(f"{name}_count{_format_labels(key)} {hist.count}")
         return "\n".join(lines) + "\n"

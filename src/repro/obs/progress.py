@@ -84,6 +84,10 @@ class ProgressReporter:
             flush=True,
         )
 
+    def summary(self, line: str) -> None:
+        """Unconditional labelled one-liner (e.g. the latency quantiles)."""
+        print(f"[{self.label}] {line}", file=self.stream, flush=True)
+
 
 def progress_reporter(label: str, total: int) -> ProgressReporter | None:
     """A reporter when progress is enabled, else ``None``.

@@ -44,6 +44,11 @@ class RunReport:
     spans: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, Any] | None = None
     explain_samples: list[dict[str, Any]] = field(default_factory=list)
+    #: Sampling-profiler payload (:func:`repro.obs.profile.export_profile`
+    #: plus its derived ``phase_table``) when ``--profile`` was on.
+    profile: dict[str, Any] | None = None
+    #: Resource summary (:func:`repro.obs.resources.run_resources`).
+    resources: dict[str, Any] | None = None
     meta: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -60,6 +65,10 @@ class RunReport:
             d["metrics"] = self.metrics
         if self.explain_samples:
             d["explain_samples"] = self.explain_samples
+        if self.profile is not None:
+            d["profile"] = self.profile
+        if self.resources is not None:
+            d["resources"] = self.resources
         return d
 
     @staticmethod
@@ -71,6 +80,8 @@ class RunReport:
             spans=list(data.get("spans", [])),
             metrics=data.get("metrics"),
             explain_samples=list(data.get("explain_samples", [])),
+            profile=data.get("profile"),
+            resources=data.get("resources"),
             meta=dict(data.get("meta", {})),
         )
 

@@ -38,10 +38,30 @@ from repro.resilience.supervisor import SupervisionReport, supervised_map
 from repro.filters.mbr import classify_mbr_pair
 from repro.join.mbr_join import partition_pairs_by_tile
 from repro.join.objects import SpatialObject, reset_access_tracking
-from repro.join.pipeline import PIPELINES, Pipeline, Stage, relate_predicate
+from repro.join.pipeline import (
+    PIPELINES,
+    Pipeline,
+    Stage,
+    _latency_line,
+    relate_predicate,
+)
 from repro.join.stats import JoinRunStats
-from repro.obs.metrics import get_registry, metrics_enabled, reset_metrics
+from repro.obs.metrics import Histogram, get_registry, metrics_enabled, reset_metrics
+from repro.obs.profile import (
+    begin_worker_capture as profile_begin_worker_capture,
+    clear_phase,
+    export_profile,
+    merge_profiles,
+    profiling_enabled,
+    set_phase,
+)
 from repro.obs.progress import progress_reporter
+from repro.obs.resources import (
+    begin_worker_capture as resources_begin_worker_capture,
+    export_resources,
+    merge_resources,
+    resources_enabled,
+)
 from repro.obs.trace import (
     add_span,
     attach_spans,
@@ -139,6 +159,8 @@ def _find_outcomes(
             for i, j in pairs
         ]
     reporter = progress_reporter(label or pipeline.name, len(pairs))
+    latencies = Histogram() if reporter is not None else None
+    profiling = profiling_enabled()
     t0 = clock()
     # Batched filter stage: every worker runs the same vectorised
     # kernels, so the per-pair screen is amortised inside each partition.
@@ -161,12 +183,18 @@ def _find_outcomes(
                 )
             continue
         assert verdict.refine_candidates is not None
+        if profiling:
+            set_phase("refine")
         t1 = clock()
         relation = pipeline.refine_pair(
             r_objects[i], s_objects[j], verdict.refine_candidates
         )
         elapsed = clock() - t1
+        if profiling:
+            clear_phase()
         stats.refine_seconds += elapsed
+        if latencies is not None:
+            latencies.observe(elapsed)
         stats.record(relation, "refinement")
         outcomes.append((i, j, relation, False))
         if registry is not None:
@@ -183,6 +211,8 @@ def _find_outcomes(
     add_span("refine", stats.refine_seconds, pairs=stats.refined)
     if reporter is not None:
         reporter.finish(detail=f"{stats.refined} refined")
+        if latencies is not None and latencies.count:
+            reporter.summary(_latency_line(latencies))
     return outcomes, stats
 
 
@@ -213,6 +243,7 @@ def _relate_outcomes(
     clock = time.perf_counter
     registry = get_registry() if metrics_enabled() else None
     reporter = progress_reporter(label or stats.method, len(pairs))
+    latencies = Histogram() if reporter is not None else None
     for k, (i, j) in enumerate(pairs):
         if reporter is not None and (k & 255) == 0:
             reporter.tick(k, detail=f"{stats.refined} refined")
@@ -223,6 +254,8 @@ def _relate_outcomes(
         if stage is Stage.REFINEMENT:
             stats.refine_seconds += elapsed
             stats.refined += 1
+            if latencies is not None:
+                latencies.observe(elapsed)
             touched_r.add(i)
             touched_s.add(j)
         else:
@@ -246,6 +279,8 @@ def _relate_outcomes(
     add_span("refine", stats.refine_seconds, pairs=stats.refined)
     if reporter is not None:
         reporter.finish(detail=f"{stats.refined} refined")
+        if latencies is not None and latencies.count:
+            reporter.summary(_latency_line(latencies))
     return matches, stats, touched_r, touched_s
 
 
@@ -253,21 +288,31 @@ def _worker_obs_begin() -> None:
     """Swap in fresh obs collectors in a forked worker.
 
     The enabled flags travel by fork inheritance; only the collected
-    data must be reset so the worker exports nothing but its own.
+    data must be reset so the worker exports nothing but its own. The
+    profiler additionally re-arms its interval timer — itimers do not
+    survive ``fork``, unlike every other piece of obs state.
     """
     if tracing_enabled():
         reset_tracing()
     if metrics_enabled():
         reset_metrics()
+    if profiling_enabled():
+        profile_begin_worker_capture()
+    if resources_enabled():
+        resources_begin_worker_capture()
 
 
 def _worker_obs_export() -> dict | None:
-    """The worker's spans and metrics registry, or ``None`` when off."""
+    """The worker's spans/metrics/profile/resources, or ``None`` when off."""
     payload: dict = {}
     if tracing_enabled():
         payload["spans"] = export_spans()
     if metrics_enabled():
         payload["metrics"] = get_registry()
+    if profiling_enabled():
+        payload["profile"] = export_profile()
+    if resources_enabled():
+        payload["resources"] = export_resources()
     return payload or None
 
 
@@ -276,7 +321,9 @@ def _merge_worker_obs(payloads: Sequence[dict | None]) -> None:
 
     ``pool.map`` returns results in task order, so the grafted span
     forest and the merged registry are deterministic for any worker
-    count — the same guarantee the ``(i, j)``-sorted result merge gives.
+    count — the same guarantee the ``(i, j)``-sorted result merge
+    gives. Profile sample counters add commutatively and resource
+    peaks merge with ``max``, so those are order-independent outright.
     """
     for payload in payloads:
         if not payload:
@@ -285,6 +332,10 @@ def _merge_worker_obs(payloads: Sequence[dict | None]) -> None:
             attach_spans(payload["spans"])
         if "metrics" in payload:
             get_registry().merge(payload["metrics"])
+        if payload.get("profile"):
+            merge_profiles([payload["profile"]])
+        if payload.get("resources"):
+            merge_resources([payload["resources"]])
 
 
 def _find_worker(task: tuple[int, int]):

@@ -51,6 +51,7 @@ from repro.join.objects import SpatialObject
 from repro.join.pipeline import PIPELINES
 from repro.join.run import JoinResult, JoinRun
 from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.resources import resources_enabled, run_resources
 from repro.obs.trace import add_span, trace
 from repro.optimizer.cost import (
     CalibrationProfile,
@@ -388,6 +389,16 @@ class Engine:
                 )
         return decision
 
+    def _attach_resources(self, run: JoinRun) -> None:
+        """Stamp the resource summary onto the run envelope when the
+        accounting is enabled; a no-op (one flag check) otherwise."""
+        if resources_enabled():
+            summary = run_resources(
+                get_registry() if metrics_enabled() else None
+            )
+            if summary is not None:
+                run.meta["resources"] = summary
+
     def _observe_auto(self, decision: Decision, run: JoinRun) -> None:
         """Fold an auto-decided run's wall time back into the model and
         attach the decision to the run envelope."""
@@ -523,6 +534,7 @@ class Engine:
             )
             if decision is not None:
                 self._observe_auto(decision, run)
+            self._attach_resources(run)
             return run
         with trace("topology_join", method=method, mode=mode):
             grid = self.join_grid(rd, sd, grid_order)
@@ -644,6 +656,7 @@ class Engine:
             )
             if decision is not None:
                 self._observe_auto(decision, run)
+            self._attach_resources(run)
             return run
 
         if mode == "batch":
@@ -692,6 +705,7 @@ class Engine:
         )
         if decision is not None:
             self._observe_auto(decision, run)
+        self._attach_resources(run)
         return run
 
     def _disk_join(

@@ -1,0 +1,210 @@
+"""Tests for bench trajectories: envelope, trends, regression gate."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    append_entry,
+    check_regressions,
+    compute_trends,
+    format_regressions,
+    load_trajectories,
+    load_trajectory,
+    make_envelope,
+    metric_direction,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _entry(kind="bench", **metrics):
+    return {"kind": kind, "scenario": "X", "scale": 1.0, **metrics}
+
+
+class TestEnvelope:
+    def test_make_envelope_shape(self):
+        env = make_envelope(cwd=REPO_ROOT)
+        assert env["schema_version"] == SCHEMA_VERSION
+        assert env["recorded_utc"].endswith("Z")
+        assert env["git_rev"]  # the repo under test is a git checkout
+        assert "cpu_count" in env["machine"]
+
+    def test_append_stamps_envelope(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        stamped = append_entry(path, _entry(join_seconds=1.0))
+        assert "envelope" in stamped
+        (loaded,) = load_trajectory(path)
+        assert loaded["envelope"]["schema_version"] == SCHEMA_VERSION
+        assert loaded["join_seconds"] == 1.0
+
+    def test_append_preserves_existing_entries(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        append_entry(path, _entry(join_seconds=1.0))
+        append_entry(path, _entry(join_seconds=2.0))
+        entries = load_trajectory(path)
+        assert [e["join_seconds"] for e in entries] == [1.0, 2.0]
+
+    def test_old_unenveloped_files_stay_readable(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps([_entry(join_seconds=3.0)], indent=2) + "\n")
+        append_entry(path, _entry(join_seconds=3.1))
+        old, new = load_trajectory(path)
+        assert "envelope" not in old
+        assert "envelope" in new
+        # ... and the gate consumes the mixed file without complaint.
+        trends = compute_trends({"BENCH_old.json": [old, new]})
+        assert any(t.metric == "join_seconds" for t in trends)
+
+    def test_caller_envelope_not_overwritten(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        stamped = append_entry(path, {**_entry(), "envelope": {"schema_version": 99}})
+        assert stamped["envelope"] == {"schema_version": 99}
+
+
+class TestMetricDirection:
+    def test_lower_better_suffixes(self):
+        for key in ("join_seconds", "decode_us", "p99_ms", "overhead_pct",
+                    "disabled_ratio", "stored_bytes", "enabled_overhead"):
+            assert metric_direction(key) == "lower", key
+
+    def test_higher_better(self):
+        for key in ("speedup", "size_ratio", "serial_vs_baseline"):
+            assert metric_direction(key) == "higher", key
+
+    def test_never_gated(self):
+        for key in ("calib_seconds", "baseline_ratio", "cpu_count", "scale",
+                    "grid_order", "enabled_overhead_pct", "schema_version"):
+            assert metric_direction(key) is None, key
+
+    def test_unknown_keys_not_gated(self):
+        assert metric_direction("profile_samples") is None
+        assert metric_direction("timestamp") is None
+
+
+class TestTrends:
+    def _trajectory(self, values, metric="join_seconds"):
+        return {"BENCH_t.json": [_entry(**{metric: v}) for v in values]}
+
+    def test_stable_series_not_flagged(self):
+        trends = compute_trends(self._trajectory([1.0, 1.02, 0.98, 1.01]))
+        (t,) = [t for t in trends if t.metric == "join_seconds"]
+        assert not t.flagged
+        assert t.baseline == pytest.approx(1.0)
+        assert t.values == [1.0, 1.02, 0.98, 1.01]
+
+    def test_2x_slowdown_flagged(self):
+        trends = compute_trends(self._trajectory([1.0, 1.02, 0.98, 2.0]))
+        (t,) = [t for t in trends if t.metric == "join_seconds"]
+        assert t.flagged
+        assert t.change_pct == pytest.approx(100.0)
+
+    def test_improvement_never_flags_lower_better(self):
+        trends = compute_trends(self._trajectory([1.0, 1.0, 0.3]))
+        (t,) = [t for t in trends if t.metric == "join_seconds"]
+        assert not t.flagged
+
+    def test_higher_better_drop_flagged(self):
+        trends = compute_trends(self._trajectory([3.0, 3.1, 1.2], metric="speedup"))
+        (t,) = [t for t in trends if t.metric == "speedup"]
+        assert t.direction == "higher"
+        assert t.flagged
+
+    def test_single_entry_has_no_baseline(self):
+        trends = compute_trends(self._trajectory([1.0]))
+        (t,) = [t for t in trends if t.metric == "join_seconds"]
+        assert t.baseline is None and not t.flagged
+
+    def test_context_split_keeps_series_apart(self):
+        entries = [
+            {"kind": "b", "workers": 1, "join_seconds": 1.0},
+            {"kind": "b", "workers": 4, "join_seconds": 0.3},
+            {"kind": "b", "workers": 1, "join_seconds": 1.01},
+            {"kind": "b", "workers": 4, "join_seconds": 0.31},
+        ]
+        trends = [
+            t for t in compute_trends({"BENCH_t.json": entries})
+            if t.metric == "join_seconds"
+        ]
+        assert len(trends) == 2
+        assert not any(t.flagged for t in trends)
+
+    def test_noise_floor_absorbs_jitter(self):
+        # 20% swing sits under the 25% relative floor even with MAD ~ 0.
+        trends = compute_trends(self._trajectory([1.0, 1.0, 1.0, 1.2]))
+        (t,) = [t for t in trends if t.metric == "join_seconds"]
+        assert not t.flagged
+
+
+class TestGate:
+    def test_real_committed_history_passes(self):
+        """Acceptance: the gate holds on the repo's own trajectories."""
+        report = check_regressions(REPO_ROOT)
+        assert report["checked"] > 0
+        assert report["regressions"] == [], format_regressions(report)
+
+    def test_synthetic_2x_slowdown_flagged_in_copied_trajectory(self, tmp_path):
+        """Acceptance: a doubled latest timing in a copy of a real
+        committed trajectory is flagged."""
+        src = REPO_ROOT / "BENCH_adaptive.json"
+        entries = load_trajectory(src)
+        assert len(entries) >= 2, "needs committed history"
+        doctored = json.loads(json.dumps(entries))
+        latest = doctored[-1]
+        slowed = [
+            k for k, v in latest.items()
+            if metric_direction(k) == "lower" and isinstance(v, (int, float))
+        ]
+        assert slowed, "trajectory has gated lower-better metrics"
+        for key in slowed:
+            latest[key] = latest[key] * 2.0
+        (tmp_path / "BENCH_adaptive.json").write_text(
+            json.dumps(doctored, indent=2) + "\n"
+        )
+        report = check_regressions(tmp_path)
+        assert report["regressions"], "2x slowdown must flag"
+        for reg in report["regressions"]:
+            assert reg["file"] == "BENCH_adaptive.json"
+
+    def test_format_regressions_renders(self):
+        report = {
+            "checked": 3,
+            "regressions": [
+                {
+                    "file": "BENCH_x.json",
+                    "kind": "bench",
+                    "context": {"workers": 4},
+                    "metric": "join_seconds",
+                    "latest": 2.0,
+                    "baseline": 1.0,
+                    "change_pct": 100.0,
+                    "threshold_pct": 25.0,
+                }
+            ],
+        }
+        text = format_regressions(report)
+        assert "3 series checked, 1 regression(s)" in text
+        assert "BENCH_x.json::bench::join_seconds" in text
+        assert "workers=4" in text
+
+    def test_empty_root_checks_nothing(self, tmp_path):
+        report = check_regressions(tmp_path)
+        assert report == {"checked": 0, "regressions": []}
+
+
+class TestLoadTrajectories:
+    def test_reads_all_bench_files_sorted(self, tmp_path):
+        for name in ("BENCH_b.json", "BENCH_a.json"):
+            (tmp_path / name).write_text("[]\n")
+        (tmp_path / "not_bench.json").write_text("[]\n")
+        assert list(load_trajectories(tmp_path)) == [
+            "BENCH_a.json", "BENCH_b.json"
+        ]
+
+    def test_non_list_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text('{"kind": "x"}\n')
+        with pytest.raises(ValueError):
+            load_trajectory(path)

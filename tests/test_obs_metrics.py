@@ -181,3 +181,92 @@ class TestBucketMath:
 
         for v in (0.7, 1.0, 1.99, 2.0, 1023.0, 1024.0):
             assert _bucket_of(v) == math.floor(math.log2(v))
+
+
+class TestQuantiles:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_out_of_range_rejected(self):
+        h = Histogram()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_exact_at_bucket_boundaries(self):
+        h = Histogram()
+        # All mass in [2, 4): p100 estimate is the bucket's upper bound.
+        for _ in range(8):
+            h.observe(2.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_within_factor_two_of_truth(self):
+        h = Histogram()
+        values = [0.001 * (1.13 ** k) for k in range(200)]
+        for v in values:
+            h.observe(v)
+        truth = sorted(values)
+        for q in (0.50, 0.90, 0.99):
+            estimate = h.quantile(q)
+            exact = truth[min(len(truth) - 1, int(q * len(truth)))]
+            assert exact / 2 <= estimate <= exact * 2, (q, estimate, exact)
+
+    def test_monotone_in_q(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 3.0, 10.0, 80.0):
+            h.observe(v)
+        qs = [h.quantile(q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+    def test_underflow_quantile_is_zero(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.quantile(0.5) == 0.0
+
+    def test_to_dict_includes_quantiles(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0, method="P+C")
+        (hist,) = reg.to_dict()["histograms"]
+        assert set(hist["quantiles"]) == {"p50", "p90", "p99"}
+
+    def test_prometheus_summary_round_trip(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.002, 0.004, 0.01, 0.4):
+            reg.observe("repro_refine_latency_seconds", v, method="P+C")
+        text = reg.to_prometheus()
+        assert "# TYPE repro_refine_latency_seconds_summary summary" in text
+        parsed = parse_prometheus(text)
+        hist = reg.histograms[
+            ("repro_refine_latency_seconds", (("method", "P+C"),))
+        ]
+        for label, q in (("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)):
+            key = (
+                'repro_refine_latency_seconds_summary'
+                f'{{method="P+C",quantile="{label}"}}'
+            )
+            assert parsed[key] == pytest.approx(hist.quantile(q))
+        assert parsed[
+            'repro_refine_latency_seconds_summary_sum{method="P+C"}'
+        ] == pytest.approx(hist.sum)
+
+    def test_summary_family_contiguous(self):
+        # Prometheus format demands one contiguous block per family.
+        reg = MetricsRegistry()
+        reg.observe("a_hist", 1.0)
+        reg.observe("b_hist", 2.0)
+        lines = reg.to_prometheus().splitlines()
+        families = []
+        for line in lines:
+            name = line.split("{")[0].split(" ")[-2 if line.startswith("#") else 0]
+            if line.startswith("# TYPE"):
+                name = line.split()[2]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+            if not families or families[-1] != name:
+                families.append(name)
+        assert len(families) == len(set(families)), families

@@ -1,0 +1,165 @@
+"""Unit + integration tests for resource accounting (repro.obs.resources)."""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import resources as res
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable_all()
+    yield
+    obs.disable_all()
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not res.resources_enabled()
+        assert res.export_resources() is None
+        assert res.run_resources() is None
+
+    def test_enable_starts_tracemalloc_and_disable_stops_it(self):
+        was_tracing = tracemalloc.is_tracing()
+        res.set_resources(True)
+        assert res.resources_enabled()
+        assert tracemalloc.is_tracing()
+        res.set_resources(False)
+        assert not res.resources_enabled()
+        # Only stopped if this module started it.
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_double_enable_is_idempotent(self):
+        res.set_resources(True)
+        res.set_resources(True)
+        res.set_resources(False)
+        assert not res.resources_enabled()
+
+    def test_max_rss_positive_on_posix(self):
+        rss = res.max_rss_bytes()
+        assert rss is None or rss > 10 * 1024 * 1024  # a python process
+
+
+class TestSpanAnnotation:
+    def test_span_gets_memory_attrs(self):
+        obs.set_tracing(True)
+        res.set_resources(True)
+        with trace("filter"):
+            blob = bytearray(2_000_000)
+            del blob
+        (span,) = obs.get_spans()
+        assert span.attrs["mem_peak_bytes"] >= 2_000_000
+        assert "mem_net_bytes" in span.attrs
+
+    def test_nested_child_peak_bubbles_to_parent(self):
+        obs.set_tracing(True)
+        res.set_resources(True)
+        with trace("run_find_relation"):
+            with trace("filter"):
+                blob = bytearray(4_000_000)
+                del blob
+        (root,) = obs.get_spans()
+        (child,) = root.children
+        assert child.attrs["mem_peak_bytes"] >= 4_000_000
+        # The parent's peak is at least its child's.
+        assert root.attrs["mem_peak_bytes"] >= child.attrs["mem_peak_bytes"]
+
+    def test_phase_peaks_normalised_and_sorted(self):
+        obs.set_tracing(True)
+        res.set_resources(True)
+        with trace("topology_join"):  # structural -> orchestration
+            with trace("filter"):
+                blob = bytearray(1_000_000)
+                del blob
+        peaks = res.phase_peaks()
+        assert list(peaks) == sorted(peaks)
+        assert "filter" in peaks and "orchestration" in peaks
+        assert "topology_join" not in peaks
+
+
+class TestExportMerge:
+    def test_merge_takes_max(self):
+        res.set_resources(True)
+        res.reset_resources()
+        res.merge_resources(
+            [
+                {"phase_peaks": {"filter": 100, "refine": 50}, "run_peak_bytes": 100},
+                {"phase_peaks": {"filter": 70, "refine": 90}, "run_peak_bytes": 90},
+                None,
+            ]
+        )
+        assert res.phase_peaks() == {"filter": 100, "refine": 90}
+        summary = res.run_resources()
+        assert summary["tracemalloc_peak_bytes"] >= 100
+
+    def test_merge_order_independent(self):
+        a = {"phase_peaks": {"x": 5}, "run_peak_bytes": 5}
+        b = {"phase_peaks": {"x": 9}, "run_peak_bytes": 9}
+        res.set_resources(True)
+        res.reset_resources()
+        res.merge_resources([a, b])
+        ab = dict(res.phase_peaks())
+        res.reset_resources()
+        res.merge_resources([b, a])
+        assert dict(res.phase_peaks()) == ab
+
+    def test_export_is_picklable_shape(self):
+        import pickle
+
+        res.set_resources(True)
+        payload = res.export_resources()
+        assert pickle.loads(pickle.dumps(payload)) == payload
+
+
+class TestRunSummary:
+    def test_payload_bytes_joined_from_registry(self):
+        res.set_resources(True)
+        registry = MetricsRegistry()
+        registry.observe("repro_april_bytes", 1000, method="P+C")
+        registry.observe("repro_april_bytes", 500, method="P+C")
+        registry.inc("repro_payload_decoded_bytes_total", value=2048, codec="varint")
+        summary = res.run_resources(registry)
+        assert summary["payload"] == {"stored_bytes": 1500, "decoded_bytes": 2048}
+
+    def test_no_registry_no_payload_key(self):
+        res.set_resources(True)
+        assert "payload" not in res.run_resources()
+
+
+class TestEngineAttachment:
+    def test_engine_join_attaches_resources_meta(self):
+        from repro.datasets import load_scenario
+        from repro.store.engine import Engine
+
+        scenario = load_scenario("OLE-OPE", scale=0.2, grid_order=10)
+        engine = Engine()
+        res.set_resources(True)
+        run = engine.execute(
+            "P+C",
+            scenario.r_objects,
+            scenario.s_objects,
+            scenario.pairs,
+            mode="serial",
+        )
+        assert "resources" in run.meta
+        assert run.meta["resources"]["max_rss_bytes"] is None or (
+            run.meta["resources"]["max_rss_bytes"] > 0
+        )
+
+    def test_engine_without_resources_has_no_meta(self):
+        from repro.datasets import load_scenario
+        from repro.store.engine import Engine
+
+        scenario = load_scenario("OLE-OPE", scale=0.2, grid_order=10)
+        run = Engine().execute(
+            "P+C",
+            scenario.r_objects,
+            scenario.s_objects,
+            scenario.pairs,
+            mode="serial",
+        )
+        assert "resources" not in run.meta
