@@ -1,0 +1,193 @@
+"""Closed-loop load benchmark of the join service.
+
+Measures what a deployment of ``repro serve`` would see: tail latency
+(p50/p95/p99) of warm joins over a real loopback HTTP socket, and the
+admission controller's shed behaviour under an over-capacity closed
+burst. Every run appends to the ``BENCH_serve.json`` trajectory through
+the enveloped bench writer, so serving-latency regressions ride the
+same noise-aware trend gate as the kernel benchmarks.
+
+Two phases, one entry each:
+
+- ``serve_latency`` — moderate concurrency against a generous queue;
+  all requests succeed; the quantiles are the service's warm-path tail.
+  A warm-path proof rides along: ``repro_april_built_total`` must stay
+  0 across the measured joins, and the service's result rows must be
+  identical to a direct ``Engine.join`` of the same inputs.
+- ``serve_shed`` — six closed-loop clients against ``max_queue=0``;
+  the controller must shed (nonzero 429 count) instead of queueing
+  into timeout, and every non-shed response must still be correct.
+"""
+
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import dumps_wkt, obs
+from repro.datasets import load_scenario
+from repro.serve import (
+    AdmissionController,
+    JoinService,
+    post_json,
+    run_load,
+    start_server,
+    stop_server,
+)
+from repro.store import build_dataset
+from repro.store.engine import Engine
+
+SCENARIO = "OLE-OPE"
+SCALE = 0.3
+GRID_ORDER = 10
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+
+def record(entry: dict) -> None:
+    from conftest import record_entry
+
+    record_entry(BENCH_PATH, entry)
+
+
+def join_payload(**overrides):
+    payload = {
+        "r": "r_idx",
+        "s": "s_idx",
+        "mode": "serial",
+        "grid_order": GRID_ORDER,
+    }
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def data_root(tmp_path_factory):
+    """Scenario datasets exported to WKT and indexed, payloads warm."""
+    root = tmp_path_factory.mktemp("serve_bench")
+    scenario = load_scenario(SCENARIO, scale=SCALE, grid_order=GRID_ORDER)
+    for side, objects in (("r", scenario.r_objects), ("s", scenario.s_objects)):
+        (root / f"{side}.wkt").write_text(
+            "\n".join(dumps_wkt(o.polygon) for o in objects) + "\n",
+            encoding="utf-8",
+        )
+        build_dataset(root / f"{side}.wkt", root / f"{side}_idx")
+    # One cold join persists the shared union-grid payloads into both
+    # indexes; from here every process and engine is warm.
+    with Engine() as engine:
+        run = engine.join(
+            root / "r_idx", root / "s_idx", mode="serial", grid_order=GRID_ORDER
+        )
+        assert len(run.results) > 0
+    return root
+
+
+@pytest.fixture()
+def metrics():
+    obs.set_metrics(True)
+    obs.reset_metrics()
+    yield obs.get_registry()
+    obs.set_metrics(False)
+    obs.reset_metrics()
+
+
+def april_built(registry) -> int:
+    return sum(
+        value
+        for (name, _labels), value in registry.counters.items()
+        if name == "repro_april_built_total"
+    )
+
+
+def test_serve_latency_quantiles(data_root, metrics):
+    service = JoinService(
+        Engine(),
+        root=data_root,
+        admission=AdmissionController(max_inflight=1, max_queue=64),
+    )
+    server, thread = start_server(service)
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+    try:
+        # Warm the service engine's in-process caches, then start the
+        # warm-path proof: the measured joins must rasterise nothing.
+        status, first = post_json(f"{base}/v1/join", join_payload())
+        assert status == 200
+        obs.reset_metrics()
+        report = run_load(
+            f"{base}/v1/join", join_payload(), clients=2, requests_per_client=8
+        )
+        assert april_built(metrics) == 0, "warm joins must not rasterise"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as resp:
+            exposition = resp.read().decode("utf-8")
+        assert "repro_serve_requests_total" in exposition
+    finally:
+        stop_server(server, thread)
+
+    assert report.ok == report.requests == 16
+    assert report.shed == 0 and report.errors == 0
+    assert report.p50_seconds <= report.p95_seconds <= report.p99_seconds
+
+    # Result identity with the Python API on the same inputs.
+    direct = Engine().join(
+        data_root / "r_idx", data_root / "s_idx",
+        mode="serial", grid_order=GRID_ORDER,
+    )
+    assert first["results"] == [
+        [l.r_index, l.s_index, l.relation.value, l.filtered]
+        for l in direct.results
+    ]
+
+    record(
+        {
+            "kind": "serve_latency",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenario": SCENARIO,
+            "scale": SCALE,
+            "grid_order": GRID_ORDER,
+            "links": len(first["results"]),
+            **report.to_dict(),
+        }
+    )
+
+
+def test_serve_shed_under_burst(data_root, metrics):
+    admission = AdmissionController(max_inflight=1, max_queue=0)
+    service = JoinService(Engine(), root=data_root, admission=admission)
+    server, thread = start_server(service)
+    host, port = server.server_address
+    try:
+        # Prime the engine so the burst measures admission, not a cold
+        # first-load hiding inside one lucky request.
+        status, _doc = post_json(
+            f"http://{host}:{port}/v1/join", join_payload()
+        )
+        assert status == 200
+        report = run_load(
+            f"http://{host}:{port}/v1/join", join_payload(),
+            clients=6, requests_per_client=4,
+        )
+    finally:
+        stop_server(server, thread)
+
+    assert report.requests == 24
+    assert report.errors == 0
+    # Over-capacity closed loop against a zero-length queue: the
+    # controller must shed rather than stretch latency without bound.
+    assert report.shed > 0
+    assert report.ok + report.shed == report.requests
+    assert admission.shed_total == report.shed
+
+    record(
+        {
+            "kind": "serve_shed",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenario": SCENARIO,
+            "scale": SCALE,
+            "grid_order": GRID_ORDER,
+            "max_inflight": 1,
+            "max_queue": 0,
+            **report.to_dict(),
+        }
+    )

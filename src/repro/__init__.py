@@ -37,6 +37,11 @@ envelope regardless of execution mode::
     engine = Engine()
     run = engine.join(r_polygons, s_polygons, mode="auto", workers=4)
     run = engine.join("r_index/", "s_index/")      # warm: no rasterising
+
+The same envelope has a frozen, versioned wire form —
+``run.to_wire()`` / :meth:`JoinRun.from_wire` (``api_version: 1``) —
+which is what the long-lived HTTP join service speaks
+(:mod:`repro.serve`, ``python -m repro serve``; see ``docs/serving.md``).
 """
 
 from repro.core import TopologyJoin
@@ -44,7 +49,7 @@ from repro.geometry import Box, Polygon, Ring, dumps_wkt, loads_wkt
 from repro.join.diskjoin import DiskPartitionedJoin
 from repro.join.objects import SpatialObject, make_objects
 from repro.join.pipeline import PIPELINES, run_find_relation, run_relate
-from repro.join.run import JoinResult, JoinRun
+from repro.join.run import WIRE_VERSION, JoinResult, JoinRun
 from repro.raster import AprilApproximation, IntervalList, RasterGrid, build_april
 from repro.raster.storage import StoreError
 from repro.store import (
@@ -54,11 +59,14 @@ from repro.store import (
     default_engine,
     open_dataset,
 )
+from repro.serve import JoinService, start_server
+from repro.serve.schema import API_VERSION, WireError, dumps_wire, loads_wire
 from repro.topology import DE9IM, TopologicalRelation, most_specific_relation, relate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "API_VERSION",
     "AprilApproximation",
     "Box",
     "DE9IM",
@@ -67,6 +75,7 @@ __all__ = [
     "IntervalList",
     "JoinResult",
     "JoinRun",
+    "JoinService",
     "PIPELINES",
     "Polygon",
     "RasterGrid",
@@ -76,11 +85,15 @@ __all__ = [
     "StoreError",
     "TopologicalRelation",
     "TopologyJoin",
+    "WIRE_VERSION",
+    "WireError",
     "__version__",
     "build_april",
     "build_dataset",
     "default_engine",
+    "dumps_wire",
     "dumps_wkt",
+    "loads_wire",
     "loads_wkt",
     "make_objects",
     "most_specific_relation",
@@ -88,4 +101,5 @@ __all__ = [
     "relate",
     "run_find_relation",
     "run_relate",
+    "start_server",
 ]

@@ -14,6 +14,7 @@ persistent dataset indexes built with ``build-index``::
     python -m repro select data.geojson --query "POLYGON((...))" --predicate intersects
     python -m repro approximate data.wkt --grid-order 12 --out approx.npz
     python -m repro stats data.wkt
+    python -m repro serve --root indexes/       # long-lived HTTP join service
 
 ``join`` and ``explain`` auto-detect index directories (any directory
 holding a ``manifest.json``); ``join --index`` makes that a requirement.
@@ -204,9 +205,11 @@ def _emit_obs(
                 "s_file": args.s,
                 "grid_order": args.grid_order,
                 "workers": args.workers,
-                "mode": run.mode,
-                "wall_seconds": run.wall_seconds,
-                "partitions": run.partitions,
+                # The canonical envelope summary (api_version-stamped,
+                # derived from JoinRun.to_wire) instead of hand-picked
+                # duplicates of its fields — the run log speaks the
+                # same v1 contract as the serve API.
+                "run": run.to_dict(),
                 **extra_meta,
             },
         )
@@ -314,6 +317,45 @@ def cmd_join(args: argparse.Namespace) -> int:
             extra["cost_model"] = decision_meta
         _emit_obs(args, run, r_objects, s_objects, extra)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve import AdmissionController, JoinService
+    from repro.serve import serve as run_service
+
+    # The daemon is an observability surface: /metrics and the
+    # per-request dashboards need the registry and span collector live.
+    obs.set_metrics(True)
+    obs.set_tracing(True)
+    if args.calibration:
+        try:
+            engine = Engine(calibration=args.calibration)
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"{args.calibration}: {exc}") from exc
+    else:
+        engine = Engine(calibration="auto")
+    admission = AdmissionController(
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline=args.deadline,
+    )
+    service = JoinService(
+        engine,
+        admission=admission,
+        root=args.root,
+        run_history=args.run_history,
+    )
+
+    def _ready(host: str, port: int) -> None:
+        print(f"# repro serve listening on http://{host}:{port} "
+              f"(api v1; max_inflight={args.max_inflight}, "
+              f"max_queue={args.max_queue}, deadline={args.deadline:g}s)",
+              file=sys.stderr)
+
+    return run_service(
+        service, args.host, args.port, quiet=args.quiet, ready=_ready
+    )
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -590,6 +632,48 @@ def main(argv: list[str] | None = None) -> int:
              "aborting the load",
     )
     p.set_defaults(func=cmd_join)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running join service over the warm engine (v1 HTTP API)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (default 8642; 0 picks a free port)")
+    p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="confine request dataset paths to DIR (default: any path "
+             "the process can read — bind only to localhost then)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=1, metavar="N",
+        help="joins executing concurrently (default 1: the engine is "
+             "single-worker; raise only with a thread-safe engine setup)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help="requests waiting beyond the inflight cap before 429 "
+             "load-shedding kicks in (default 8; 0 sheds immediately)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=300.0, metavar="SECONDS",
+        help="per-request deadline: queue wait counts against it and the "
+             "remainder bounds parallel partitions (default 300)",
+    )
+    p.add_argument(
+        "--run-history", type=int, default=64, metavar="N",
+        help="recent requests kept for GET /v1/runs/<id> dashboards "
+             "(default 64)",
+    )
+    p.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="cost-model calibration profile for auto-mode requests "
+             "(default: auto-discover like the join subcommand)",
+    )
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access log lines")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "report",

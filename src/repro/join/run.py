@@ -11,15 +11,31 @@ regardless of how the join was executed.
 ``JoinRun`` unpacks as ``results, stats = run`` so pre-envelope callers
 keep working; relate_p runs unpack their matches as ``(i, j)`` pairs,
 matching the historical ``run_predicate`` shape.
+
+Since PR 9 the envelope also owns the **frozen v1 wire schema**:
+:meth:`JoinRun.to_wire` / :meth:`JoinRun.from_wire` are the single
+serialization contract shared by the HTTP join service
+(:mod:`repro.serve`), the structured run reports, and the CLI. The wire
+document is versioned (``api_version``), JSON-safe (strictly finite
+floats — :mod:`repro.serve.schema` enforces the NaN/Infinity ban at the
+byte layer), and forward-compatible: decoders ignore unknown fields and
+trailing result-row elements, so a v1 reader survives additive v1.x
+growth. ``tests/golden/joinrun_wire_v1.json`` pins the exact v1 bytes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 from repro.join.stats import JoinRunStats
 from repro.topology.de9im import TopologicalRelation
+
+#: Version stamped into (and required from) every wire document. Bump
+#: only on an incompatible change of the envelope; additive growth —
+#: new top-level fields, new trailing result-row elements — stays
+#: within v1 because decoders tolerate it.
+WIRE_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,22 +97,95 @@ class JoinRun:
         return len(self.results)
 
     def to_dict(self) -> dict:
-        """JSON-safe summary for run reports and logs."""
-        d = {
+        """JSON-safe *summary* (no per-pair rows) for logs and digests.
+
+        The lossy sibling of :meth:`to_wire`: identical envelope fields,
+        but the result rows collapse to their count. Use :meth:`to_wire`
+        wherever the run must be reconstructible.
+        """
+        d = self.to_wire()
+        d["links"] = len(d.pop("results"))
+        if d["predicate"] is None:
+            del d["predicate"]
+        if not d["meta"]:
+            del d["meta"]
+        return d
+
+    # ------------------------------------------------------------------
+    # the frozen v1 wire schema
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """The run as its canonical, versioned wire document.
+
+        One result row per link, as a ``[r_index, s_index, relation,
+        filtered]`` list (``filtered`` is ``null`` for relate_p rows);
+        stats via :meth:`JoinRunStats.to_dict`, whose derived measures a
+        decoder recomputes rather than trusts. The document is plain
+        JSON-safe dicts/lists — hand it to
+        :func:`repro.serve.schema.dumps_wire` for bytes that are
+        guaranteed free of non-finite floats.
+        """
+        return {
+            "api_version": WIRE_VERSION,
             "kind": self.kind,
             "method": self.method,
             "mode": self.mode,
-            "links": len(self.results),
+            "predicate": self.predicate.value if self.predicate else None,
+            "results": [
+                [link.r_index, link.s_index, link.relation.value, link.filtered]
+                for link in self.results
+            ],
             "stats": self.stats.to_dict(),
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
             "partitions": self.partitions,
+            "meta": dict(self.meta),
         }
-        if self.predicate is not None:
-            d["predicate"] = self.predicate.value
-        if self.meta:
-            d["meta"] = dict(self.meta)
-        return d
+
+    @classmethod
+    def from_wire(cls, wire: Mapping) -> "JoinRun":
+        """Rebuild a run from :meth:`to_wire` output.
+
+        Raises :class:`ValueError` on a missing/foreign ``api_version``
+        or malformed rows. Unknown top-level fields and trailing
+        result-row elements are ignored (forward compatibility within
+        v1); derived stats measures are recomputed by
+        :meth:`JoinRunStats.from_dict`, so a round trip is bit-identical
+        for every execution mode.
+        """
+        version = wire.get("api_version")
+        if version != WIRE_VERSION:
+            raise ValueError(
+                f"unsupported wire api_version {version!r} "
+                f"(this build speaks version {WIRE_VERSION})"
+            )
+        predicate = wire.get("predicate")
+        results = []
+        for row in wire.get("results", ()):
+            if len(row) < 4:
+                raise ValueError(f"malformed result row {row!r}: expected "
+                                 "[r_index, s_index, relation, filtered]")
+            r_index, s_index, relation, filtered = row[0], row[1], row[2], row[3]
+            results.append(
+                JoinResult(
+                    int(r_index),
+                    int(s_index),
+                    TopologicalRelation(relation),
+                    None if filtered is None else bool(filtered),
+                )
+            )
+        return cls(
+            results=results,
+            stats=JoinRunStats.from_dict(dict(wire.get("stats", {"method": ""}))),
+            method=str(wire.get("method", "")),
+            mode=str(wire.get("mode", "")),
+            kind=str(wire.get("kind", "find")),
+            predicate=None if predicate is None else TopologicalRelation(predicate),
+            wall_seconds=float(wire.get("wall_seconds", 0.0)),
+            workers=int(wire.get("workers", 1)),
+            partitions=int(wire.get("partitions", 1)),
+            meta=dict(wire.get("meta", {})),
+        )
 
 
-__all__ = ["JoinResult", "JoinRun"]
+__all__ = ["JoinResult", "JoinRun", "WIRE_VERSION"]

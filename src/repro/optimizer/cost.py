@@ -185,18 +185,32 @@ class CalibrationProfile:
         pairs = float(pick["pairs"])
         serial_pp = float(pick["serial_seconds"]) / pairs
         parallel_pp = float(pick["parallel_seconds"]) / pairs
+        # Trajectories recorded since the bench timed the batch runner
+        # carry ``batch_seconds``; older entries lack it, and the serial
+        # cost stands in so predictions stay defined (a tie that auto
+        # breaks in serial's favour, preserving the historical pick).
+        batch_seconds = pick.get("batch_seconds")
+        batch_pp = (
+            float(batch_seconds) / pairs if batch_seconds else serial_pp
+        )
         raster = 0.0
         local_preps = [e for e in preps if e.get("cpu_count") == cpu] or preps
         if local_preps:
             prep = local_preps[-1]
             if prep.get("polygons"):
                 raster = float(prep["serial_seconds"]) / float(prep["polygons"])
+        samples = [
+            {"mode": "serial", "pairs": pairs, "seconds": pick["serial_seconds"]},
+            {"mode": "parallel", "pairs": pairs, "seconds": pick["parallel_seconds"]},
+        ]
+        if batch_seconds:
+            samples.insert(
+                1, {"mode": "batch", "pairs": pairs, "seconds": batch_seconds}
+            )
         return cls(
             modes={
                 "serial": ModeCost(startup=0.0, per_pair=serial_pp),
-                # The trajectory never timed the batch runner separately;
-                # carry the serial cost so predictions stay defined.
-                "batch": ModeCost(startup=0.0, per_pair=serial_pp),
+                "batch": ModeCost(startup=0.0, per_pair=batch_pp),
                 "parallel": ModeCost(startup=0.0, per_pair=parallel_pp),
             },
             machine=cls.machine_fingerprint(),
@@ -204,10 +218,7 @@ class CalibrationProfile:
             raster_per_object=raster,
             source="bench",
             created=time.strftime("%Y-%m-%dT%H:%M:%S"),
-            samples=[
-                {"mode": "serial", "pairs": pairs, "seconds": pick["serial_seconds"]},
-                {"mode": "parallel", "pairs": pairs, "seconds": pick["parallel_seconds"]},
-            ],
+            samples=samples,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""``repro.serve`` — the long-lived join service over the warm Engine.
+
+A zero-dependency daemon (stdlib :class:`~http.server.ThreadingHTTPServer`)
+that keeps one memoised :class:`~repro.store.engine.Engine` warm and
+speaks the frozen v1 wire API (:mod:`repro.serve.schema`). Start it with
+``python -m repro serve`` or embed it:
+
+    from repro.serve import AdmissionController, JoinService, start_server
+
+    service = JoinService(root="indexes/")
+    server, thread = start_server(service, port=0)
+
+Package layout: :mod:`~repro.serve.schema` (the frozen wire contract),
+:mod:`~repro.serve.admission` (bounded queue + 429 load shedding),
+:mod:`~repro.serve.service` (endpoints, HTTP transport, graceful
+drain), :mod:`~repro.serve.loadgen` (closed-loop load measurement).
+"""
+
+from repro.serve.admission import AdmissionController, ShedError, Ticket
+from repro.serve.loadgen import LoadReport, get_json, post_json, run_load
+from repro.serve.schema import (
+    API_VERSION,
+    BuildIndexRequest,
+    JoinRequest,
+    WireError,
+    dumps_wire,
+    loads_wire,
+    validate_wire_run,
+)
+from repro.serve.service import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    JoinService,
+    ServiceError,
+    serve,
+    start_server,
+    stop_server,
+)
+
+__all__ = [
+    "API_VERSION",
+    "AdmissionController",
+    "BuildIndexRequest",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JoinRequest",
+    "JoinService",
+    "LoadReport",
+    "ServiceError",
+    "ShedError",
+    "Ticket",
+    "WireError",
+    "dumps_wire",
+    "get_json",
+    "loads_wire",
+    "post_json",
+    "run_load",
+    "serve",
+    "start_server",
+    "stop_server",
+    "validate_wire_run",
+]

@@ -1,0 +1,176 @@
+"""Admission control for the join service: bounded queue + load shedding.
+
+The serving model is the partition-parallel one (Tsitsigkos &
+Mamoulis): long-lived workers own warm state, a thin coordinator admits
+requests. Warm joins are CPU-bound, so letting an unbounded backlog
+build only converts overload into unbounded latency; instead the
+controller holds a hard cap on concurrently *executing* requests
+(``max_inflight`` — matched to how many engine workers exist, one by
+default) and a hard cap on *waiting* requests (``max_queue``).
+Everything beyond either bound is shed immediately with ``429`` — the
+client's signal to back off — rather than queued into timeout.
+
+A queued request also carries its endpoint's **deadline** (default: the
+supervisor's :data:`~repro.resilience.supervisor.DEFAULT_PARTITION_TIMEOUT`,
+the same knob that bounds parallel partitions): if its turn has not
+come when the deadline lapses, it is shed too, and whatever budget
+remains at admission travels with the ticket so the handler can pass it
+down as the engine's ``partition_timeout``.
+
+Every decision is observable: ``repro_serve_requests_total`` /
+``repro_serve_shed_total`` counters (by endpoint/reason),
+``repro_serve_inflight`` and ``repro_serve_queue_wait_seconds``
+histograms. Stdlib-only; thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.resilience.supervisor import DEFAULT_PARTITION_TIMEOUT
+
+
+class ShedError(RuntimeError):
+    """The controller refused the request (maps to HTTP 429).
+
+    ``reason`` is ``"queue_full"`` (bound hit at arrival) or
+    ``"deadline"`` (turn never came); ``retry_after`` is a coarse
+    client hint in seconds.
+    """
+
+    def __init__(self, endpoint: str, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"{endpoint}: shed ({reason})")
+        self.endpoint = endpoint
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One admitted request: what it waited and what budget remains."""
+
+    endpoint: str
+    queued_seconds: float
+    #: Seconds of the endpoint deadline left at admission; handlers
+    #: forward it as the execution-layer timeout.
+    remaining_seconds: float
+
+
+class AdmissionController:
+    """Bounded-concurrency gate with deadline-aware queueing."""
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 1,
+        max_queue: int = 8,
+        deadlines: dict[str, float] | None = None,
+        default_deadline: float = DEFAULT_PARTITION_TIMEOUT,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.default_deadline = float(default_deadline)
+        self.deadlines = dict(deadlines or {})
+        self._lock = threading.Lock()
+        self._turn = threading.Condition(self._lock)
+        self._inflight = 0
+        self._queued = 0
+        #: Monotonic totals (also exported as metrics when enabled).
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------------
+    def deadline(self, endpoint: str) -> float:
+        """The endpoint's request deadline in seconds."""
+        return float(self.deadlines.get(endpoint, self.default_deadline))
+
+    def snapshot(self) -> dict:
+        """Instantaneous state for health checks."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+            }
+
+    def idle(self) -> bool:
+        with self._lock:
+            return self._inflight == 0 and self._queued == 0
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is queued or executing (the graceful
+        drain step); returns False if ``timeout`` lapsed first."""
+        end = time.monotonic() + timeout
+        with self._turn:
+            while self._inflight or self._queued:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._turn.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    def _shed(self, endpoint: str, reason: str) -> ShedError:
+        self.shed_total += 1
+        if metrics_enabled():
+            get_registry().inc(
+                "repro_serve_shed_total", endpoint=endpoint, reason=reason
+            )
+        return ShedError(endpoint, reason)
+
+    @contextmanager
+    def admit(self, endpoint: str):
+        """Admit one request, yielding its :class:`Ticket`.
+
+        Raises :class:`ShedError` when the queue bound is hit on
+        arrival or the endpoint deadline lapses while waiting. The
+        context must wrap the whole execution: release happens on exit.
+        """
+        deadline = self.deadline(endpoint)
+        t0 = time.monotonic()
+        with self._lock:
+            if self._inflight >= self.max_inflight and self._queued >= self.max_queue:
+                raise self._shed(endpoint, "queue_full")
+            self._queued += 1
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - (time.monotonic() - t0)
+                    if remaining <= 0:
+                        raise self._shed(endpoint, "deadline")
+                    self._turn.wait(remaining)
+                self._inflight += 1
+                self.admitted_total += 1
+                inflight_now = self._inflight
+            finally:
+                self._queued -= 1
+        queued_seconds = time.monotonic() - t0
+        if metrics_enabled():
+            registry = get_registry()
+            registry.observe("repro_serve_inflight", inflight_now)
+            registry.observe(
+                "repro_serve_queue_wait_seconds", queued_seconds, endpoint=endpoint
+            )
+        try:
+            yield Ticket(
+                endpoint=endpoint,
+                queued_seconds=queued_seconds,
+                remaining_seconds=max(0.0, deadline - queued_seconds),
+            )
+        finally:
+            with self._turn:
+                self._inflight -= 1
+                self._turn.notify_all()
+
+
+__all__ = ["AdmissionController", "ShedError", "Ticket"]

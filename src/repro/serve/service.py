@@ -1,0 +1,513 @@
+"""The long-lived join service: warm Engine behind a v1 HTTP API.
+
+``repro serve`` turns the warm-cache :class:`~repro.store.engine.Engine`
+into a daemon: a stdlib :class:`~http.server.ThreadingHTTPServer` whose
+handler threads are a thin coordinator — parse, validate, admit — around
+one warm engine worker (the engine is not thread-safe, so execution
+serialises through a lock; admission control sheds what the worker
+cannot absorb). Endpoints:
+
+- ``POST /v1/join`` — run a find-relation join; responds with the
+  frozen :meth:`JoinRun.to_wire` envelope plus a ``request_id`` and
+  service timing block.
+- ``POST /v1/predicate`` — the relate_p variant (predicate required).
+- ``POST /v1/build-index`` — build a persistent dataset index on the
+  server, so heavy inputs travel once and joins reference them by name.
+- ``GET /v1/healthz`` — liveness + admission snapshot.
+- ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition (the PR 3 exporter, now scrapeable).
+- ``GET /v1/runs`` / ``GET /v1/runs/<id>`` — recent request ids, and a
+  per-request HTML dashboard (the PR 8 renderer) with the request's own
+  span tree — request-id → trace correlation, served live.
+
+Every request is measured: ``repro_serve_requests_total{endpoint,status}``
+counters and ``repro_serve_latency_seconds{endpoint}`` histograms (whose
+p50/p90/p99 ride the registry's quantile export), on top of the
+admission controller's shed/queue metrics. Graceful drain on
+SIGTERM/SIGINT: stop accepting, let in-flight requests finish (bounded),
+close the engine, exit 0.
+
+Datasets are resolved *on the server*, confined to an optional
+``root`` directory — a request naming a path outside it is refused.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import get_registry, metrics_enabled
+from repro.obs.trace import export_spans, reset_tracing, tracing_enabled
+from repro.serve.admission import AdmissionController, ShedError
+from repro.serve.schema import (
+    API_VERSION,
+    BuildIndexRequest,
+    JoinRequest,
+    WireError,
+    dumps_wire,
+    loads_wire,
+    parse_predicate,
+)
+
+#: Default bind address/port of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Request bodies beyond this are refused with 413 — the service takes
+#: dataset *names*, not inline geometry, so real requests are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds the graceful drain waits for in-flight work before giving up.
+DRAIN_TIMEOUT = 30.0
+
+
+class ServiceError(Exception):
+    """A request the service refuses, with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class JoinService:
+    """The HTTP-facing application object (transport-independent).
+
+    Handlers return ``(status, document)`` pairs; the HTTP layer only
+    serializes. Tests may drive a service instance directly, or over a
+    real socket via :func:`start_server`.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        admission: AdmissionController | None = None,
+        root: str | Path | None = None,
+        run_history: int = 64,
+    ) -> None:
+        if engine is None:
+            from repro.store.engine import Engine
+
+            engine = Engine(calibration="auto")
+        self.engine = engine
+        self.admission = admission or AdmissionController()
+        self.root = Path(root).resolve() if root is not None else None
+        self.run_history = run_history
+        self.started = time.time()
+        self._engine_lock = threading.Lock()
+        self._runs: OrderedDict[str, dict] = OrderedDict()
+        self._runs_lock = threading.Lock()
+        self._counter = 0
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _request_id(self) -> str:
+        with self._counter_lock:
+            self._counter += 1
+            n = self._counter
+        return f"{n:06d}-{uuid.uuid4().hex[:8]}"
+
+    def _resolve(self, name: str) -> Path:
+        """A request's dataset path, confined to the service root."""
+        if self.root is None:
+            return Path(name)
+        path = (self.root / name).resolve()
+        if path != self.root and self.root not in path.parents:
+            raise ServiceError(400, f"dataset path {name!r} escapes the service root")
+        return path
+
+    def _record_run(self, request_id: str, record: dict) -> None:
+        with self._runs_lock:
+            self._runs[request_id] = record
+            while len(self._runs) > self.run_history:
+                self._runs.popitem(last=False)
+
+    def _observe(self, endpoint: str, status: int, seconds: float) -> None:
+        if metrics_enabled():
+            registry = get_registry()
+            registry.inc(
+                "repro_serve_requests_total", endpoint=endpoint, status=str(status)
+            )
+            registry.observe(
+                "repro_serve_latency_seconds", seconds, endpoint=endpoint
+            )
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def handle_join(
+        self, payload: Any, *, require_predicate: bool = False
+    ) -> tuple[int, dict]:
+        endpoint = "predicate" if require_predicate else "join"
+        request = JoinRequest.from_dict(payload, require_predicate=require_predicate)
+        predicate = (
+            parse_predicate(request.predicate) if request.predicate else None
+        )
+        r_path = self._resolve(request.r)
+        s_path = self._resolve(request.s)
+        request_id = self._request_id()
+        with self.admission.admit(endpoint) as ticket:
+            with self._engine_lock:
+                if tracing_enabled():
+                    reset_tracing()
+                t0 = time.perf_counter()
+                try:
+                    run = self.engine.join(
+                        r_path,
+                        s_path,
+                        method=request.method,
+                        grid_order=request.grid_order,
+                        mode=request.mode,
+                        predicate=predicate,
+                        workers=request.workers,
+                        include_disjoint=request.include_disjoint,
+                        partition_timeout=ticket.remaining_seconds or None,
+                    )
+                except FileNotFoundError as exc:
+                    raise ServiceError(404, str(exc)) from exc
+                except (ValueError, OSError) as exc:
+                    raise ServiceError(400, str(exc)) from exc
+                service_seconds = time.perf_counter() - t0
+                spans = export_spans() if tracing_enabled() else []
+        response = run.to_wire()
+        response["request_id"] = request_id
+        response["service"] = {
+            "seconds": service_seconds,
+            "queued_seconds": ticket.queued_seconds,
+            "endpoint": endpoint,
+        }
+        self._record_run(
+            request_id,
+            {
+                "kind": "serve_request",
+                "method": request.method,
+                "stats": response["stats"],
+                "spans": spans,
+                "meta": {
+                    "request_id": request_id,
+                    "endpoint": endpoint,
+                    "r": str(request.r),
+                    "s": str(request.s),
+                    "grid_order": request.grid_order,
+                    "mode": run.mode,
+                    "links": len(run.results),
+                    "wall_seconds": run.wall_seconds,
+                    "service_seconds": service_seconds,
+                    "queued_seconds": ticket.queued_seconds,
+                    **(
+                        {"cost_model": run.meta["cost_model"]}
+                        if "cost_model" in run.meta
+                        else {}
+                    ),
+                },
+            },
+        )
+        return 200, response
+
+    def handle_build_index(self, payload: Any) -> tuple[int, dict]:
+        from repro.store.dataset import build_dataset
+
+        request = BuildIndexRequest.from_dict(payload)
+        data = self._resolve(request.data)
+        index = self._resolve(request.index)
+        request_id = self._request_id()
+        with self.admission.admit("build-index"):
+            t0 = time.perf_counter()
+            try:
+                dataset = build_dataset(
+                    data,
+                    index,
+                    grid_order=request.grid_order if request.approximate else None,
+                    workers=request.workers,
+                    payload_codec=request.payload_codec,
+                )
+            except FileNotFoundError as exc:
+                raise ServiceError(404, str(exc)) from exc
+            except (ValueError, OSError) as exc:
+                raise ServiceError(400, str(exc)) from exc
+            seconds = time.perf_counter() - t0
+        return 200, {
+            "api_version": API_VERSION,
+            "request_id": request_id,
+            "index": str(index),
+            "geometries": len(dataset),
+            "payload_codec": request.payload_codec,
+            "seconds": seconds,
+        }
+
+    def healthz(self) -> tuple[int, dict]:
+        from repro import __version__
+
+        return 200, {
+            "status": "ok",
+            "api_version": API_VERSION,
+            "version": __version__,
+            "uptime_seconds": time.time() - self.started,
+            "admission": self.admission.snapshot(),
+            "runs_recorded": len(self._runs),
+        }
+
+    def run_ids(self) -> tuple[int, dict]:
+        with self._runs_lock:
+            ids = list(self._runs)
+        return 200, {"api_version": API_VERSION, "runs": ids}
+
+    def run_dashboard(self, request_id: str) -> str:
+        """The stored request's observability record as an HTML page."""
+        from repro.obs.dashboard import render_dashboard
+
+        with self._runs_lock:
+            record = self._runs.get(request_id)
+        if record is None:
+            raise ServiceError(404, f"no recorded run {request_id!r}")
+        return render_dashboard([record], title=f"repro serve · run {request_id}")
+
+    def close(self) -> None:
+        """Release the engine's warm state (idempotent)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+
+# ----------------------------------------------------------------------
+# the HTTP transport
+# ----------------------------------------------------------------------
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its :class:`JoinService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: JoinService, *, quiet: bool = False) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+def _endpoint_label(path: str) -> str:
+    """Short endpoint label for metrics, consistent with the admission
+    controller's (``/v1/join`` → ``join``; dashboard ids collapse to
+    ``runs`` so the label set stays bounded)."""
+    if path.startswith("/v1/runs"):
+        return "runs"
+    if path == "/metrics":
+        return "metrics"
+    if path.startswith("/v1/"):
+        return path[len("/v1/"):] or "unknown"
+    return "unknown"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceServer
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str, **headers) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name.replace("_", "-"), str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json_bytes(self, document: dict) -> bytes:
+        return (dumps_wire(document) + "\n").encode("utf-8")
+
+    def _error_bytes(self, status: int, message: str) -> bytes:
+        return self._json_bytes(
+            {"api_version": API_VERSION, "error": message, "status": status}
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            # Drain (bounded) what the client is mid-way through
+            # sending, so the 413 reaches it instead of a broken pipe;
+            # truly huge declarations just get the connection closed.
+            remaining = min(length, 8 * MAX_BODY_BYTES)
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            raise ServiceError(
+                413, f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        return self.rfile.read(length) if length else b"{}"
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        service = self.server.service
+        t0 = time.perf_counter()
+        status, body, content_type = 500, b"", "application/json"
+        try:
+            if self.path == "/v1/healthz":
+                status, doc = service.healthz()
+                body = self._json_bytes(doc)
+            elif self.path == "/metrics":
+                status = 200
+                body = get_registry().to_prometheus().encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif self.path == "/v1/runs":
+                status, doc = service.run_ids()
+                body = self._json_bytes(doc)
+            elif self.path.startswith("/v1/runs/"):
+                html = service.run_dashboard(self.path[len("/v1/runs/"):])
+                status = 200
+                body = html.encode("utf-8")
+                content_type = "text/html; charset=utf-8"
+            else:
+                status = 404
+                body = self._error_bytes(404, f"unknown path {self.path!r}")
+        except ServiceError as exc:
+            status = exc.status
+            body = self._error_bytes(exc.status, str(exc))
+            content_type = "application/json"
+        # Observe before the response bytes leave: a client holding our
+        # response and scraping /metrics must already see this request
+        # counted (the scrape itself shows up in the *next* scrape).
+        service._observe(
+            _endpoint_label(self.path), status, time.perf_counter() - t0
+        )
+        self._send(status, body, content_type)
+
+    def do_POST(self) -> None:  # noqa: N802
+        service = self.server.service
+        t0 = time.perf_counter()
+        status, body, headers = 500, b"", {}
+        try:
+            payload = loads_wire(self._read_body())
+            if self.path == "/v1/join":
+                status, doc = service.handle_join(payload)
+            elif self.path == "/v1/predicate":
+                status, doc = service.handle_join(payload, require_predicate=True)
+            elif self.path == "/v1/build-index":
+                status, doc = service.handle_build_index(payload)
+            else:
+                raise ServiceError(404, f"unknown path {self.path!r}")
+            body = self._json_bytes(doc)
+        except ShedError as exc:
+            status = 429
+            body = self._error_bytes(429, str(exc))
+            headers = {"Retry_After": max(1, round(exc.retry_after))}
+        except WireError as exc:
+            status = 400
+            body = self._error_bytes(400, str(exc))
+        except ServiceError as exc:
+            status = exc.status
+            body = self._error_bytes(exc.status, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status = 500
+            body = self._error_bytes(500, f"internal error: {exc}")
+        # Same ordering rule as do_GET: count, then respond.
+        service._observe(
+            _endpoint_label(self.path), status, time.perf_counter() - t0
+        )
+        self._send(status, body, "application/json", **headers)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def start_server(
+    service: JoinService,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> tuple[ServiceServer, threading.Thread]:
+    """Start the server on a background thread (``port=0`` picks a free
+    one — read it back from ``server.server_address``). The caller owns
+    shutdown: :func:`stop_server`."""
+    server = ServiceServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def stop_server(
+    server: ServiceServer,
+    thread: threading.Thread | None = None,
+    *,
+    drain_timeout: float = DRAIN_TIMEOUT,
+) -> bool:
+    """Graceful shutdown: stop accepting, drain in-flight work, close
+    the engine. Returns True when the drain completed in time."""
+    server.shutdown()
+    drained = server.service.admission.wait_idle(drain_timeout)
+    server.server_close()
+    if thread is not None:
+        thread.join(timeout=drain_timeout)
+    server.service.close()
+    return drained
+
+
+def serve(
+    service: JoinService,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    quiet: bool = False,
+    install_signals: bool = True,
+    ready=None,
+) -> int:
+    """Run the service until SIGTERM/SIGINT, then drain gracefully.
+
+    The blocking entry point behind ``repro serve``. ``ready`` (if
+    given) is called with the bound ``(host, port)`` once the socket
+    listens — tests use it; the CLI prints the URL.
+    """
+    server = ServiceServer((host, port), service, quiet=quiet)
+    stop_requested = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        if not stop_requested.is_set():
+            stop_requested.set()
+            # shutdown() must come from another thread than serve_forever.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    if install_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _request_stop)
+    try:
+        if ready is not None:
+            ready(server.server_address[0], server.server_address[1])
+        server.serve_forever()
+        drained = server.service.admission.wait_idle(DRAIN_TIMEOUT)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        server.service.close()
+    return 0 if drained else 1
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DRAIN_TIMEOUT",
+    "MAX_BODY_BYTES",
+    "JoinService",
+    "ServiceError",
+    "ServiceServer",
+    "serve",
+    "start_server",
+    "stop_server",
+]

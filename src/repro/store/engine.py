@@ -38,6 +38,7 @@ counters/spans.
 
 from __future__ import annotations
 
+import atexit
 import os
 import tempfile
 import time
@@ -154,6 +155,42 @@ class Engine:
         self._payloads = _LRU(max_payload_sets, "payload")
         self.max_decoded_payload_bytes = max_decoded_payload_bytes
         self.cost_model = self._resolve_calibration(calibration)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the engine's warm state deterministically.
+
+        Drains every LRU (datasets, object sets, pair sets, histograms,
+        decoded payloads) so their memory — decoded APRIL blobs in
+        particular — is reclaimable now rather than at interpreter
+        teardown, and marks the engine closed: further :meth:`join` /
+        :meth:`execute` / :meth:`dataset` calls raise
+        :class:`RuntimeError`. Idempotent, so shutdown paths (service
+        drain, context-manager exit, the default engine's atexit hook)
+        can all call it without coordinating.
+        """
+        if self._closed:
+            return
+        self.clear()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed; create a new Engine")
+
+    def __enter__(self) -> "Engine":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     @staticmethod
     def _resolve_calibration(calibration) -> CostModel | None:
@@ -195,6 +232,7 @@ class Engine:
         cache hit leaves ``quarantine`` untouched — rows are only
         quarantined when the file is actually parsed).
         """
+        self._check_open()
         if isinstance(source, SpatialDataset):
             return source
         if isinstance(source, (str, Path)):
@@ -473,6 +511,7 @@ class Engine:
         of aborting (the skipped rows land in
         ``run.meta["quarantine"]``).
         """
+        self._check_open()
         if method not in PIPELINES:
             raise KeyError(f"unknown method {method!r}; available: {list(PIPELINES)}")
         if mode not in MODES:
@@ -598,6 +637,7 @@ class Engine:
         from repro.parallel import run_find_relation_parallel, run_relate_parallel
         from repro.parallel.executor import resolve_workers
 
+        self._check_open()
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; available: {list(MODES)}")
         if mode == "disk":
@@ -782,7 +822,16 @@ def default_engine() -> Engine:
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
         _DEFAULT_ENGINE = Engine(calibration="auto")
+        atexit.register(_close_default_engine)
     return _DEFAULT_ENGINE
+
+
+def _close_default_engine() -> None:
+    """The default engine's atexit hook: deterministic teardown of the
+    warm caches at interpreter exit (idempotent; a replaced or reset
+    default is simply absent)."""
+    if _DEFAULT_ENGINE is not None:
+        _DEFAULT_ENGINE.close()
 
 
 def set_default_engine(engine: Engine | None) -> Engine | None:

@@ -171,7 +171,7 @@ class TestCliObservability:
         (record,) = read_jsonl(log_path)
         decision = record["meta"]["cost_model"]
         assert decision["source"] == "calibration"
-        assert decision["decision"] == record["meta"]["mode"]
+        assert decision["decision"] == record["meta"]["run"]["mode"]
         assert "predicted_seconds" in decision
 
     def test_join_explicit_calibration_flag(self, wkt_files, tmp_path, capsys, monkeypatch):

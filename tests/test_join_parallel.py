@@ -69,21 +69,14 @@ class TestParallel:
         assert run.stats.pairs == len(scenario.pairs)
 
 
-class TestDeprecatedShim:
-    """repro.join.parallel survives as a deprecated ``(stats, wall)`` shim."""
+class TestRemovedShim:
+    """The deprecated ``repro.join.parallel`` shim is gone (v1.2.0).
 
-    def test_warns_and_returns_legacy_shape(self, scenario):
-        from repro.join.parallel import (
-            run_find_relation_parallel as legacy_parallel,
-        )
+    It carried the legacy ``(stats, wall)`` signature through the
+    promised two-release deprecation window after 1.0; pin its removal
+    so a revival is a deliberate act, not an accident.
+    """
 
-        with pytest.warns(DeprecationWarning, match="repro.parallel"):
-            stats, wall = legacy_parallel(
-                "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs,
-                workers=1,
-            )
-        scalar = run_find_relation(
-            "P+C", scenario.r_objects, scenario.s_objects, scenario.pairs
-        )
-        assert stats.relation_counts == scalar.relation_counts
-        assert wall > 0
+    def test_legacy_module_is_removed(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.join.parallel  # noqa: F401

@@ -212,6 +212,30 @@ class TestSeedFromBench:
         # A 0.755x "speedup" trajectory must route auto to serial.
         decision = CostModel(profile).decide(features(7148, workers=4, cpu=1))
         assert decision.mode == "serial"
+        # An entry without batch_seconds (older trajectory) falls back
+        # to serial's per-pair cost — the tie serial wins.
+        assert profile.modes["batch"].per_pair == profile.modes["serial"].per_pair
+
+    def test_seeds_batch_from_its_own_timing(self, tmp_path):
+        import os
+
+        cpu = os.cpu_count() or 1
+        bench = [
+            {"kind": "find_relation", "cpu_count": cpu, "pairs": 7148,
+             "serial_seconds": 0.78, "batch_seconds": 0.26,
+             "parallel_seconds": 1.03, "workers": 4},
+        ]
+        (tmp_path / "BENCH_parallel.json").write_text(json.dumps(bench))
+        profile = CalibrationProfile.seed_from_bench(tmp_path)
+        assert profile.modes["batch"].per_pair == pytest.approx(0.26 / 7148)
+        assert {s["mode"] for s in profile.samples} == {
+            "serial", "batch", "parallel"
+        }
+        # With batch measured 3x cheaper, auto can finally pick it.
+        decision = CostModel(profile).decide(
+            features(7148, workers=4, cpu=1), ["serial", "batch", "parallel"]
+        )
+        assert decision.mode == "batch"
 
     def test_empty_trajectory_raises(self, tmp_path):
         with pytest.raises(CalibrationError, match="no usable"):

@@ -1,0 +1,318 @@
+"""The join service end to end: a real server on a loopback socket.
+
+Each test talks HTTP to an in-process :class:`ServiceServer` on an
+OS-assigned port — the exact transport production uses, minus the
+process boundary. Covered: response identity with a direct engine join,
+the predicate and build-index endpoints, health/metrics/dashboard
+surfaces, wire-error mapping (400/404/413), 429 load shedding under an
+occupied admission gate, graceful drain, and the engine lifecycle
+(close + context manager + closed guards).
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro import Polygon, dumps_wkt, obs
+from repro.serve import (
+    AdmissionController,
+    JoinService,
+    ShedError,
+    get_json,
+    post_json,
+    run_load,
+    start_server,
+    stop_server,
+)
+from repro.store.engine import Engine
+
+
+@pytest.fixture()
+def data_root(tmp_path):
+    r = [Polygon.box(i, 0, i + 1.5, 1.5) for i in range(6)]
+    s = [Polygon.box(i + 0.5, 0.5, i + 2.0, 2.0) for i in range(6)]
+    (tmp_path / "r.wkt").write_text("\n".join(dumps_wkt(g) for g in r) + "\n")
+    (tmp_path / "s.wkt").write_text("\n".join(dumps_wkt(g) for g in s) + "\n")
+    return tmp_path
+
+
+@pytest.fixture()
+def server(data_root):
+    service = JoinService(Engine(), root=data_root)
+    server, thread = start_server(service)
+    host, port = server.server_address
+    yield f"http://{host}:{port}", service
+    stop_server(server, thread)
+
+
+def join_payload(**overrides):
+    payload = {"r": "r.wkt", "s": "s.wkt", "mode": "serial", "grid_order": 8}
+    payload.update(overrides)
+    return payload
+
+
+class TestJoinEndpoint:
+    def test_matches_direct_engine_join(self, server, data_root):
+        base, _service = server
+        status, doc = post_json(f"{base}/v1/join", join_payload())
+        assert status == 200
+        assert doc["api_version"] == 1
+        assert doc["mode"] == "serial"
+        assert doc["request_id"]
+        assert doc["service"]["seconds"] > 0
+        direct = Engine().join(
+            data_root / "r.wkt", data_root / "s.wkt", mode="serial", grid_order=8
+        )
+        assert doc["results"] == [
+            [l.r_index, l.s_index, l.relation.value, l.filtered]
+            for l in direct.results
+        ]
+        assert doc["stats"]["pairs"] == direct.stats.pairs
+
+    def test_predicate_endpoint(self, server):
+        base, _service = server
+        status, doc = post_json(
+            f"{base}/v1/predicate", join_payload(predicate="intersects")
+        )
+        assert status == 200
+        assert doc["kind"] == "relate"
+        assert doc["predicate"] == "intersects"
+        assert len(doc["results"]) > 0
+
+    def test_predicate_endpoint_requires_predicate(self, server):
+        base, _service = server
+        status, doc = post_json(f"{base}/v1/predicate", join_payload())
+        assert status == 400
+        assert "predicate" in doc["error"]
+
+    def test_build_index_then_warm_join(self, server):
+        base, _service = server
+        status, doc = post_json(
+            f"{base}/v1/build-index",
+            {"data": "r.wkt", "index": "r_idx", "grid_order": 8},
+        )
+        assert status == 200
+        assert doc["geometries"] == 6
+        status, doc = post_json(f"{base}/v1/join", join_payload(r="r_idx"))
+        assert status == 200
+        assert len(doc["results"]) > 0
+
+    def test_wire_violation_maps_to_400(self, server):
+        base, _service = server
+        status, doc = post_json(f"{base}/v1/join", {"r": "r.wkt"})
+        assert status == 400
+        assert "missing required field" in doc["error"]
+
+    def test_missing_dataset_maps_to_404(self, server):
+        base, _service = server
+        status, doc = post_json(f"{base}/v1/join", join_payload(r="ghost.wkt"))
+        assert status == 404
+
+    def test_path_escape_refused(self, server):
+        base, _service = server
+        status, doc = post_json(
+            f"{base}/v1/join", join_payload(r="../../etc/passwd")
+        )
+        assert status == 400
+        assert "escapes" in doc["error"]
+
+    def test_unknown_path_404(self, server):
+        base, _service = server
+        status, _doc = post_json(f"{base}/v1/evaluate", {})
+        assert status == 404
+
+    def test_oversized_body_413(self, server):
+        base, _service = server
+        body = b'{"pad": "' + b"x" * (1 << 20) + b'"}'
+        request = urllib.request.Request(
+            f"{base}/v1/join", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 413
+
+
+class TestObservabilitySurfaces:
+    def test_healthz(self, server):
+        base, _service = server
+        status, doc = get_json(f"{base}/v1/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["admission"]["max_inflight"] == 1
+
+    def test_metrics_exposition_parses(self, server):
+        base, _service = server
+        obs.set_metrics(True)
+        try:
+            post_json(f"{base}/v1/join", join_payload())
+            with urllib.request.urlopen(f"{base}/metrics", timeout=30) as resp:
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                text = resp.read().decode("utf-8")
+            parsed = obs.parse_prometheus(text)
+            assert (
+                parsed['repro_serve_requests_total{endpoint="join",status="200"}']
+                >= 1
+            )
+        finally:
+            obs.set_metrics(False)
+            obs.reset_metrics()
+
+    def test_run_dashboard_serves_html(self, server):
+        base, _service = server
+        status, doc = post_json(f"{base}/v1/join", join_payload())
+        request_id = doc["request_id"]
+        status, listing = get_json(f"{base}/v1/runs")
+        assert request_id in listing["runs"]
+        with urllib.request.urlopen(
+            f"{base}/v1/runs/{request_id}", timeout=30
+        ) as resp:
+            html = resp.read().decode("utf-8")
+        assert "<html" in html.lower()
+        assert request_id in html
+
+    def test_unknown_run_404(self, server):
+        base, _service = server
+        status, _doc = get_json(f"{base}/v1/runs/nope")
+        assert status == 404
+
+    def test_run_history_is_bounded(self, data_root):
+        service = JoinService(Engine(), root=data_root, run_history=2)
+        server, thread = start_server(service)
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            ids = []
+            for _ in range(4):
+                _status, doc = post_json(f"{base}/v1/join", join_payload())
+                ids.append(doc["request_id"])
+            _status, listing = get_json(f"{base}/v1/runs")
+            assert listing["runs"] == ids[-2:]
+        finally:
+            stop_server(server, thread)
+
+
+class TestAdmission:
+    def test_queue_full_sheds_429(self, data_root):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        service = JoinService(Engine(), root=data_root, admission=admission)
+        server, thread = start_server(service)
+        host, port = server.server_address
+        base = f"http://{host}:{port}"
+        try:
+            with admission.admit("other"):
+                status, doc = post_json(f"{base}/v1/join", join_payload())
+            assert status == 429
+            assert "shed" in doc["error"]
+            assert admission.shed_total == 1
+            # Gate released: the same request succeeds now.
+            status, _doc = post_json(f"{base}/v1/join", join_payload())
+            assert status == 200
+        finally:
+            stop_server(server, thread)
+
+    def test_deadline_lapse_sheds(self):
+        admission = AdmissionController(
+            max_inflight=1, max_queue=4, default_deadline=0.05
+        )
+        with admission.admit("join"):
+            with pytest.raises(ShedError, match="deadline"):
+                with admission.admit("join"):
+                    pass
+        assert admission.idle()
+
+    def test_load_generator_measures_sheds(self, data_root):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        service = JoinService(Engine(), root=data_root, admission=admission)
+        server, thread = start_server(service)
+        host, port = server.server_address
+        try:
+            report = run_load(
+                f"http://{host}:{port}/v1/join", join_payload(),
+                clients=6, requests_per_client=4,
+            )
+        finally:
+            stop_server(server, thread)
+        assert report.requests == 24
+        assert report.ok + report.shed + report.errors == 24
+        assert report.errors == 0
+        # One-at-a-time service, zero queue, six closed-loop clients:
+        # overload must shed.
+        assert report.shed > 0
+        assert report.p99_seconds >= report.p50_seconds
+
+    def test_graceful_drain_waits_for_inflight(self, server):
+        base, service = server
+        release = threading.Event()
+        entered = threading.Event()
+
+        def _slow_request():
+            with service.admission.admit("join"):
+                entered.set()
+                release.wait(10)
+
+        worker = threading.Thread(target=_slow_request, daemon=True)
+        worker.start()
+        assert entered.wait(5)
+        assert not service.admission.wait_idle(0.05)
+        release.set()
+        assert service.admission.wait_idle(5)
+
+
+class TestEngineLifecycle:
+    def test_close_is_idempotent_and_guards(self):
+        engine = Engine()
+        r = [Polygon.box(0, 0, 2, 2)]
+        s = [Polygon.box(1, 1, 3, 3)]
+        run = engine.join(r, s, mode="serial", grid_order=6)
+        assert len(run.results) == 1
+        engine.close()
+        engine.close()
+        assert engine.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.join(r, s, mode="serial", grid_order=6)
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.dataset(r)
+
+    def test_context_manager_closes(self):
+        with Engine() as engine:
+            assert not engine.closed
+        assert engine.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            with engine:
+                pass
+
+    def test_close_drains_caches(self):
+        engine = Engine()
+        engine.join(
+            [Polygon.box(0, 0, 2, 2)], [Polygon.box(1, 1, 3, 3)],
+            mode="serial", grid_order=6,
+        )
+        assert len(engine._datasets) > 0
+        engine.close()
+        assert len(engine._datasets) == 0
+        assert len(engine._objects) == 0
+        assert len(engine._pairs) == 0
+
+    def test_service_close_closes_engine(self, data_root):
+        engine = Engine()
+        service = JoinService(engine, root=data_root)
+        service.close()
+        assert engine.closed
+
+    def test_default_engine_registers_atexit_close(self):
+        import atexit
+
+        from repro.store import engine as engine_module
+
+        registered = []
+        original = atexit.register
+        engine_module.set_default_engine(None)
+        try:
+            atexit.register = lambda fn, *a, **k: registered.append(fn)
+            engine_module.default_engine()
+        finally:
+            atexit.register = original
+            engine_module.set_default_engine(None)
+        assert engine_module._close_default_engine in registered
