@@ -7,7 +7,7 @@ burst. Every run appends to the ``BENCH_serve.json`` trajectory through
 the enveloped bench writer, so serving-latency regressions ride the
 same noise-aware trend gate as the kernel benchmarks.
 
-Two phases, one entry each:
+Three phases, one entry each:
 
 - ``serve_latency`` — moderate concurrency against a generous queue;
   all requests succeed; the quantiles are the service's warm-path tail.
@@ -17,8 +17,13 @@ Two phases, one entry each:
 - ``serve_shed`` — six closed-loop clients against ``max_queue=0``;
   the controller must shed (nonzero 429 count) instead of queueing
   into timeout, and every non-shed response must still be correct.
+- ``serve_pool`` — the supervised worker pool vs the single-flight
+  engine lock: dispatch overhead at concurrency 1 (gated ≤5%) and
+  closed-loop throughput at concurrency 2 (gated ≥1.3× only on
+  multi-core boxes — forked workers time-slice one CPU).
 """
 
+import os
 import time
 import urllib.request
 from pathlib import Path
@@ -30,6 +35,7 @@ from repro.datasets import load_scenario
 from repro.serve import (
     AdmissionController,
     JoinService,
+    WorkerPool,
     post_json,
     run_load,
     start_server,
@@ -189,5 +195,120 @@ def test_serve_shed_under_burst(data_root, metrics):
             "max_inflight": 1,
             "max_queue": 0,
             **report.to_dict(),
+        }
+    )
+
+
+def _measure(data_root, *, pool_workers, clients, requests_per_client):
+    """One load run against a freshly served engine (pooled or not).
+
+    The engine warms its caches *before* the pool forks, so workers
+    inherit the warm store and the run measures dispatch, not I/O.
+    """
+    engine = Engine()
+    engine.warm(data_root / "r_idx", data_root / "s_idx", grid_order=GRID_ORDER)
+    pool = (
+        WorkerPool(pool_workers, engine=engine).start() if pool_workers else None
+    )
+    service = JoinService(
+        engine,
+        root=data_root,
+        pool=pool,
+        admission=AdmissionController(
+            max_inflight=max(1, pool_workers), max_queue=64
+        ),
+    )
+    server, thread = start_server(service)
+    host, port = server.server_address
+    base = f"http://{host}:{port}"
+    try:
+        status, first = post_json(f"{base}/v1/join", join_payload())
+        assert status == 200
+        obs.reset_metrics()
+        report = run_load(
+            f"{base}/v1/join",
+            join_payload(),
+            clients=clients,
+            requests_per_client=requests_per_client,
+        )
+        snapshot = pool.snapshot() if pool is not None else None
+    finally:
+        stop_server(server, thread)
+    return report, first, snapshot
+
+
+def test_serve_pool_overhead_and_throughput(data_root, metrics):
+    # -- concurrency 1: what the pool costs when nothing fails ---------
+    # One re-measure absorbs transient scheduler noise on a loaded box:
+    # the gate is about dispatch cost, and a p50-vs-p50 comparison of
+    # 12-request runs can wobble past 5% for reasons that are not the
+    # pool's doing.
+    for attempt in range(2):
+        single_1, first_single, _ = _measure(
+            data_root, pool_workers=0, clients=1, requests_per_client=12
+        )
+        pool_1, first_pool, snap_1 = _measure(
+            data_root, pool_workers=2, clients=1, requests_per_client=12
+        )
+        overhead = (
+            pool_1.p50_seconds / single_1.p50_seconds
+            if single_1.p50_seconds
+            else 1.0
+        )
+        if overhead <= 1.05:
+            break
+    assert single_1.ok == single_1.requests == 12
+    assert pool_1.ok == pool_1.requests == 12
+    # No-fault run: nothing crashed, nothing respawned, and the warm
+    # path held *inside the forked workers* — provable from the parent
+    # registry because worker metrics merge back per request.
+    assert snap_1["respawns_total"] == 0 and snap_1["failures_total"] == {}
+    assert april_built(metrics) == 0, "pooled warm joins must not rasterise"
+    # Byte-identical results through the pool.
+    assert first_pool["results"] == first_single["results"]
+    assert overhead <= 1.05, (
+        f"pool dispatch overhead {overhead:.3f}x exceeds 5% "
+        f"(pool p50 {pool_1.p50_seconds * 1e3:.1f}ms vs "
+        f"single {single_1.p50_seconds * 1e3:.1f}ms)"
+    )
+
+    # -- concurrency 2: parallel workers vs the engine lock ------------
+    single_2, _first, _ = _measure(
+        data_root, pool_workers=0, clients=2, requests_per_client=8
+    )
+    pool_2, _first, snap_2 = _measure(
+        data_root, pool_workers=2, clients=2, requests_per_client=8
+    )
+    assert pool_2.ok == pool_2.requests == 16
+    assert snap_2["respawns_total"] == 0
+    speedup = (
+        pool_2.throughput_rps / single_2.throughput_rps
+        if single_2.throughput_rps
+        else 0.0
+    )
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        # Two workers on two cores must actually overlap joins.
+        assert speedup >= 1.3, (
+            f"pool(2) throughput {pool_2.throughput_rps:.2f} rps is only "
+            f"{speedup:.2f}x single-flight on {cores} cores"
+        )
+
+    record(
+        {
+            "kind": "serve_pool",
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "scenario": SCENARIO,
+            "scale": SCALE,
+            "grid_order": GRID_ORDER,
+            "pool_workers": 2,
+            "cpu_count": cores,
+            "throughput_gated": cores >= 2,
+            "overhead_x": round(overhead, 4),
+            "speedup_x": round(speedup, 4),
+            "single_p50_ms": round(single_1.p50_seconds * 1e3, 3),
+            "single_throughput_rps": round(single_2.throughput_rps, 3),
+            **{f"c1_{k}": v for k, v in pool_1.to_dict().items()},
+            **pool_2.to_dict(),
         }
     )

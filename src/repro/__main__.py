@@ -321,7 +321,7 @@ def cmd_join(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.serve import AdmissionController, JoinService
+    from repro.serve import AdmissionController, BreakerBoard, JoinService, WorkerPool
     from repro.serve import serve as run_service
 
     # The daemon is an observability surface: /metrics and the
@@ -335,22 +335,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit(f"{args.calibration}: {exc}") from exc
     else:
         engine = Engine(calibration="auto")
+    # With a pool, inflight defaults to the worker count so admitted
+    # requests map one-to-one onto workers; single-flight keeps 1.
+    max_inflight = args.max_inflight
+    if max_inflight is None:
+        max_inflight = args.pool_workers if args.pool_workers > 0 else 1
     admission = AdmissionController(
-        max_inflight=args.max_inflight,
+        max_inflight=max_inflight,
         max_queue=args.max_queue,
         default_deadline=args.deadline,
     )
+    pool = breakers = None
+    if args.pool_workers > 0:
+        pool = WorkerPool(args.pool_workers, engine=engine).start()
+        if args.breaker_threshold > 0:
+            breakers = BreakerBoard(
+                threshold=args.breaker_threshold,
+                cooldown=args.breaker_cooldown,
+            )
     service = JoinService(
         engine,
         admission=admission,
         root=args.root,
         run_history=args.run_history,
+        pool=pool,
+        breakers=breakers,
+        degrade=args.degrade,
     )
 
     def _ready(host: str, port: int) -> None:
+        pool_note = (
+            f", pool_workers={args.pool_workers}, degrade={args.degrade}"
+            if pool is not None
+            else ""
+        )
         print(f"# repro serve listening on http://{host}:{port} "
-              f"(api v1; max_inflight={args.max_inflight}, "
-              f"max_queue={args.max_queue}, deadline={args.deadline:g}s)",
+              f"(api v1; max_inflight={max_inflight}, "
+              f"max_queue={args.max_queue}, deadline={args.deadline:g}s"
+              f"{pool_note})",
               file=sys.stderr)
 
     return run_service(
@@ -423,6 +445,10 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
               f"+ {mc.per_pair * 1e6:8.2f} us/pair", file=sys.stderr)
     model = CostModel(profile)
     print("# auto-mode preview (warm index, workers = cpu count):", file=sys.stderr)
+    # The same candidate set Engine.join offers a warm P+C find — in
+    # particular *batch*, which the profile now measures independently;
+    # the old ("serial", "parallel") default silently hid it.
+    candidates = ("serial", "batch", "parallel", "disk")
     for pairs in (100, 10_000, 1_000_000):
         features = JoinFeatures(
             r_count=max(1, pairs // 10),
@@ -431,7 +457,7 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
             workers=cpu,
             cpu_count=cpu,
         )
-        decision = model.decide(features)
+        decision = model.decide(features, candidates)
         print(f"#   {pairs:>9,} pairs -> {decision.mode}", file=sys.stderr)
     return 0
 
@@ -647,9 +673,32 @@ def main(argv: list[str] | None = None) -> int:
              "the process can read — bind only to localhost then)",
     )
     p.add_argument(
-        "--max-inflight", type=int, default=1, metavar="N",
-        help="joins executing concurrently (default 1: the engine is "
-             "single-worker; raise only with a thread-safe engine setup)",
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="joins executing concurrently (default: --pool-workers when "
+             "a pool is enabled, else 1 — the in-process engine is "
+             "single-worker)",
+    )
+    p.add_argument(
+        "--pool-workers", type=int, default=0, metavar="N",
+        help="fork N supervised engine worker processes after warm-up "
+             "(crash/hang isolation + true join concurrency; default 0 "
+             "keeps the single-flight in-process engine)",
+    )
+    p.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive worker failures per dataset before its circuit "
+             "breaker opens (pool mode only; default 3, 0 disables)",
+    )
+    p.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="SECONDS",
+        help="seconds an open breaker waits before admitting its "
+             "half-open probe (default 5)",
+    )
+    p.add_argument(
+        "--degrade", choices=("serial", "shed"), default="serial",
+        help="policy when no live pool worker exists: run the join "
+             "in-process behind the engine lock (serial, default) or "
+             "answer 503 until a respawn lands (shed)",
     )
     p.add_argument(
         "--max-queue", type=int, default=8, metavar="N",

@@ -53,11 +53,20 @@ KNOWN_SITES = (
     "worker.hang",   # sleep past any reasonable deadline at task start
     "store.torn_write",  # write a truncated payload, as a crash mid-persist would
     "io.bad_row",    # treat an input row as malformed during dataset load
+    "serve.worker_crash",  # SIGKILL the serving engine worker mid-request
+    "serve.worker_hang",   # serving worker sleeps past the request deadline
+    "serve.slow_response",  # serving worker delays its reply (stays within deadline)
 )
 
 #: Default sleep for ``worker.hang`` — far past any test deadline; the
 #: supervised pool's terminate-on-exit kills the sleeper.
 DEFAULT_HANG_SECONDS = 3600.0
+
+#: Default delay for ``serve.slow_response`` — long enough to be visible
+#: in a latency measurement, short enough to stay inside any sane
+#: request deadline. (All other sites default to
+#: :data:`DEFAULT_HANG_SECONDS`.)
+DEFAULT_SLOW_SECONDS = 0.75
 
 ENV_VAR = "REPRO_FAILPOINTS"
 ENV_SEED_VAR = "REPRO_FAILPOINTS_SEED"
@@ -137,9 +146,15 @@ def arm(
     trigger: str = "always",
     *,
     seed: int | None = None,
-    hang_seconds: float = DEFAULT_HANG_SECONDS,
+    hang_seconds: float | None = None,
 ) -> FailpointSpec:
-    """Arm ``site`` with ``trigger``; returns the installed spec."""
+    """Arm ``site`` with ``trigger``; returns the installed spec.
+
+    ``hang_seconds`` defaults per site: ``serve.slow_response`` sleeps
+    :data:`DEFAULT_SLOW_SECONDS` (a delay, not a hang), every other
+    sleeping site :data:`DEFAULT_HANG_SECONDS` — so an env-armed slow
+    response does not stall for an hour.
+    """
     global _ARM_PID
     if site not in KNOWN_SITES:
         raise FailpointError(
@@ -148,6 +163,12 @@ def arm(
     mode, arg = parse_trigger(trigger)
     if seed is None:
         seed = int(os.environ.get(ENV_SEED_VAR, "0") or "0")
+    if hang_seconds is None:
+        hang_seconds = (
+            DEFAULT_SLOW_SECONDS
+            if site == "serve.slow_response"
+            else DEFAULT_HANG_SECONDS
+        )
     spec = FailpointSpec(
         site=site, mode=mode, arg=arg, seed=seed, hang_seconds=hang_seconds
     )
@@ -216,9 +237,16 @@ class inject:
     the pre-injection state.
     """
 
-    def __init__(self, sites: dict[str, str], *, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        sites: dict[str, str],
+        *,
+        seed: int | None = None,
+        hang_seconds: float | None = None,
+    ) -> None:
         self._requested = sites
         self._seed = seed
+        self._hang_seconds = hang_seconds
         self._saved: dict[str, FailpointSpec] = {}
         self._saved_pid: int | None = None
 
@@ -226,7 +254,7 @@ class inject:
         self._saved = dict(_SITES)
         self._saved_pid = _ARM_PID
         for site, trigger in self._requested.items():
-            arm(site, trigger, seed=self._seed)
+            arm(site, trigger, seed=self._seed, hang_seconds=self._hang_seconds)
         return self
 
     def __exit__(self, *exc) -> None:
@@ -287,8 +315,43 @@ def maybe_fail_worker(key, attempt: int) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
 
 
+def maybe_fail_serve(key, hit: int) -> None:
+    """Evaluate the serving-worker sites at a request boundary.
+
+    The pool dispatcher stamps each request with a daemon-global
+    sequence number and passes it as ``hit``, so a trigger like
+    ``times:2`` means "the first two *requests* fail" — deterministic
+    across respawns, which reset a worker's in-process hit counters.
+
+    Same parent guard as :func:`maybe_fail_worker`: the arming process
+    (the daemon, which also runs the ``--degrade serial`` in-parent
+    fallback) is immune by construction; only forked engine workers
+    crash or hang.
+    """
+    _ensure_env_loaded()
+    if not _SITES or os.getpid() == _ARM_PID:
+        return
+    if should_fire("serve.worker_hang", key=key, hit=hit):
+        time.sleep(_SITES["serve.worker_hang"].hang_seconds)
+    if should_fire("serve.worker_crash", key=key, hit=hit):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def serve_response_delay(key, hit: int) -> float:
+    """Seconds the ``serve.slow_response`` site asks the worker to delay
+    its reply on this request (0.0 when the site does not fire). Parent
+    processes never delay — same guard as the other serve sites."""
+    _ensure_env_loaded()
+    if not _SITES or os.getpid() == _ARM_PID:
+        return 0.0
+    if should_fire("serve.slow_response", key=key, hit=hit):
+        return _SITES["serve.slow_response"].hang_seconds
+    return 0.0
+
+
 __all__ = [
     "DEFAULT_HANG_SECONDS",
+    "DEFAULT_SLOW_SECONDS",
     "ENV_SEED_VAR",
     "ENV_VAR",
     "FailpointError",
@@ -301,7 +364,9 @@ __all__ = [
     "disarm_all",
     "inject",
     "load_env_spec",
+    "maybe_fail_serve",
     "maybe_fail_worker",
     "parse_trigger",
+    "serve_response_delay",
     "should_fire",
 ]

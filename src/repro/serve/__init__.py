@@ -11,25 +11,39 @@ speaks the frozen v1 wire API (:mod:`repro.serve.schema`). Start it with
     server, thread = start_server(service, port=0)
 
 Package layout: :mod:`~repro.serve.schema` (the frozen wire contract),
-:mod:`~repro.serve.admission` (bounded queue + 429 load shedding),
+:mod:`~repro.serve.admission` (bounded queue + 429 load shedding +
+per-dataset circuit breakers), :mod:`~repro.serve.pool` (supervised
+forked engine workers: crash/hang isolation, respawn with backoff),
 :mod:`~repro.serve.service` (endpoints, HTTP transport, graceful
-drain), :mod:`~repro.serve.loadgen` (closed-loop load measurement).
+drain), :mod:`~repro.serve.loadgen` (closed-loop load measurement with
+``Retry-After``-aware retries).
 """
 
-from repro.serve.admission import AdmissionController, ShedError, Ticket
+from repro.serve.admission import (
+    AdmissionController,
+    BreakerBoard,
+    BreakerOpen,
+    CircuitBreaker,
+    ShedError,
+    Ticket,
+)
 from repro.serve.loadgen import LoadReport, get_json, post_json, run_load
+from repro.serve.pool import WorkerFailure, WorkerPool
 from repro.serve.schema import (
     API_VERSION,
     BuildIndexRequest,
+    ERROR_REASONS,
     JoinRequest,
     WireError,
     dumps_wire,
+    error_document,
     loads_wire,
     validate_wire_run,
 )
 from repro.serve.service import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    DEGRADE_MODES,
     JoinService,
     ServiceError,
     serve,
@@ -40,9 +54,14 @@ from repro.serve.service import (
 __all__ = [
     "API_VERSION",
     "AdmissionController",
+    "BreakerBoard",
+    "BreakerOpen",
     "BuildIndexRequest",
+    "CircuitBreaker",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEGRADE_MODES",
+    "ERROR_REASONS",
     "JoinRequest",
     "JoinService",
     "LoadReport",
@@ -50,7 +69,10 @@ __all__ = [
     "ShedError",
     "Ticket",
     "WireError",
+    "WorkerFailure",
+    "WorkerPool",
     "dumps_wire",
+    "error_document",
     "get_json",
     "loads_wire",
     "post_json",

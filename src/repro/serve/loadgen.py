@@ -18,6 +18,7 @@ enveloped bench writer. Stdlib-only (``urllib`` transport).
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -31,22 +32,35 @@ from repro.serve.schema import dumps_wire
 #: queueing without bound.
 REQUEST_TIMEOUT = 120.0
 
+#: Upper bound on one retry sleep: a server asking for a long cooldown
+#: still gets re-probed within this window during a load run.
+RETRY_SLEEP_CAP = 5.0
+
+#: Statuses that invite a retry: admission shed (429) and transient
+#: service unavailability (503 — worker failure, open breaker,
+#: exhausted pool). Client errors never retry.
+RETRYABLE_STATUSES = (429, 503)
+
 
 @dataclass
 class RequestOutcome:
-    """One request as the client saw it."""
+    """One request as the client saw it (after any retries)."""
 
     status: int
     seconds: float
     shed: bool
     error: str | None = None
+    #: Retries spent before this final status (0 = first try stood).
+    retries: int = 0
 
 
 def post_json(url: str, payload: dict, timeout: float = REQUEST_TIMEOUT) -> tuple[int, dict]:
     """POST a wire document, returning ``(status, response_document)``.
 
     HTTP error statuses are returned, not raised — a 429 is data for
-    the load report, not an exception.
+    the load report, not an exception. A ``Retry-After`` response
+    header is folded into the document as ``retry_after`` when the body
+    itself lacks one, so callers have a single place to look.
     """
     body = dumps_wire(payload).encode("utf-8")
     request = urllib.request.Request(
@@ -61,6 +75,13 @@ def post_json(url: str, payload: dict, timeout: float = REQUEST_TIMEOUT) -> tupl
             document = json.loads(raw)
         except ValueError:
             document = {"error": raw}
+        if "retry_after" not in document:
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    document["retry_after"] = float(header)
+                except ValueError:
+                    pass
         return exc.code, document
 
 
@@ -95,6 +116,10 @@ class LoadReport:
     p95_seconds: float
     p99_seconds: float
     mean_seconds: float
+    #: Total retry attempts spent across the run, and how many requests
+    #: needed at least one (``Retry-After``-honouring clients only).
+    retries_total: int = 0
+    retried_requests: int = 0
     outcomes: list[RequestOutcome] = field(repr=False, default_factory=list)
 
     @property
@@ -120,6 +145,8 @@ class LoadReport:
             "latency_p95_ms": round(self.p95_seconds * 1e3, 3),
             "latency_p99_ms": round(self.p99_seconds * 1e3, 3),
             "latency_mean_ms": round(self.mean_seconds * 1e3, 3),
+            "retries_total": self.retries_total,
+            "retried_requests": self.retried_requests,
         }
 
     @classmethod
@@ -140,6 +167,8 @@ class LoadReport:
             p95_seconds=_quantile(latencies, 0.95),
             p99_seconds=_quantile(latencies, 0.99),
             mean_seconds=mean,
+            retries_total=sum(o.retries for o in outcomes),
+            retried_requests=sum(1 for o in outcomes if o.retries),
             outcomes=outcomes,
         )
 
@@ -151,29 +180,53 @@ def run_load(
     clients: int = 4,
     requests_per_client: int = 8,
     timeout: float = REQUEST_TIMEOUT,
+    max_retries: int = 0,
+    retry_seed: int = 0,
 ) -> LoadReport:
     """Drive ``clients`` closed-loop threads against ``url``.
 
     All clients start together (barrier), each posts ``payload``
     ``requests_per_client`` times back-to-back, and every outcome —
     success, shed, transport error — is recorded with its latency.
+
+    With ``max_retries > 0`` a 429/503 answer is retried up to that
+    many times, honouring the server's ``Retry-After`` hint (body
+    ``retry_after`` field or header) with ±25% deterministic jitter
+    (seeded per client, so replays sleep identically) and a
+    :data:`RETRY_SLEEP_CAP` bound. The recorded latency covers the
+    whole exchange including backoff sleeps — what the caller actually
+    waited.
     """
     outcomes: list[RequestOutcome] = []
     outcomes_lock = threading.Lock()
     barrier = threading.Barrier(clients + 1)
 
-    def _client() -> None:
+    def _client(index: int) -> None:
+        rng = random.Random((retry_seed << 8) | index)
         barrier.wait()
         local = []
         for _ in range(requests_per_client):
             t0 = time.perf_counter()
+            retries = 0
             try:
-                status, _document = post_json(url, payload, timeout=timeout)
+                while True:
+                    status, document = post_json(url, payload, timeout=timeout)
+                    if status not in RETRYABLE_STATUSES or retries >= max_retries:
+                        break
+                    hint = document.get("retry_after")
+                    try:
+                        delay = float(hint)
+                    except (TypeError, ValueError):
+                        delay = 1.0
+                    delay = min(RETRY_SLEEP_CAP, max(0.05, delay))
+                    time.sleep(delay * rng.uniform(0.75, 1.25))
+                    retries += 1
                 local.append(
                     RequestOutcome(
                         status=status,
                         seconds=time.perf_counter() - t0,
                         shed=status == 429,
+                        retries=retries,
                     )
                 )
             except Exception as exc:  # transport failure, not an HTTP status
@@ -183,13 +236,14 @@ def run_load(
                         seconds=time.perf_counter() - t0,
                         shed=False,
                         error=str(exc),
+                        retries=retries,
                     )
                 )
         with outcomes_lock:
             outcomes.extend(local)
 
     threads = [
-        threading.Thread(target=_client, name=f"loadgen-{i}", daemon=True)
+        threading.Thread(target=_client, args=(i,), name=f"loadgen-{i}", daemon=True)
         for i in range(clients)
     ]
     for thread in threads:

@@ -49,8 +49,45 @@ JOIN_MODES = ("auto", "serial", "batch", "parallel", "disk")
 PAYLOAD_CODECS = ("varint", "raw")
 
 
+#: The frozen vocabulary of machine-readable error reasons a v1 error
+#: document may carry. Clients branch on ``reason``, never on the
+#: human-readable ``error`` text.
+ERROR_REASONS = (
+    "queue_full",      # admission queue bound hit on arrival (429)
+    "deadline",        # request deadline lapsed while queued (429)
+    "worker_crash",    # engine worker died mid-request (503)
+    "worker_hang",     # engine worker exceeded the deadline, was killed (503)
+    "pool_exhausted",  # no live engine worker to dispatch to (503)
+    "pool_closed",     # the daemon is draining (503)
+    "breaker_open",    # the dataset's circuit breaker is open (503)
+)
+
+
 class WireError(ValueError):
     """A payload that violates the wire schema (service answers 400)."""
+
+
+def error_document(
+    status: int,
+    message: str,
+    *,
+    reason: str | None = None,
+    retry_after: float | None = None,
+) -> dict:
+    """The versioned v1 error body every non-200 response carries.
+
+    Always ``{"api_version", "error", "status"}``; transient refusals
+    (429/503) add a machine-readable ``reason`` from
+    :data:`ERROR_REASONS` and a ``retry_after`` hint in seconds (also
+    sent as the ``Retry-After`` header). Additive only — a v1 client
+    that predates ``reason`` keeps working.
+    """
+    document: dict = {"api_version": API_VERSION, "error": message, "status": status}
+    if reason is not None:
+        document["reason"] = reason
+    if retry_after is not None:
+        document["retry_after"] = round(max(0.0, float(retry_after)), 3)
+    return document
 
 
 def _reject_constant(token: str) -> float:
@@ -238,12 +275,14 @@ class BuildIndexRequest:
 __all__ = [
     "API_VERSION",
     "BuildIndexRequest",
+    "ERROR_REASONS",
     "JOIN_METHODS",
     "JOIN_MODES",
     "JoinRequest",
     "PAYLOAD_CODECS",
     "WireError",
     "dumps_wire",
+    "error_document",
     "loads_wire",
     "parse_predicate",
     "validate_wire_run",

@@ -2,10 +2,15 @@
 
 ``repro serve`` turns the warm-cache :class:`~repro.store.engine.Engine`
 into a daemon: a stdlib :class:`~http.server.ThreadingHTTPServer` whose
-handler threads are a thin coordinator — parse, validate, admit — around
-one warm engine worker (the engine is not thread-safe, so execution
-serialises through a lock; admission control sheds what the worker
-cannot absorb). Endpoints:
+handler threads are a thin coordinator — parse, validate, admit —
+around the engine worker(s). By default execution serialises through a
+lock on one in-process engine (the engine is not thread-safe); with
+``--pool-workers N`` requests dispatch to a supervised
+:class:`~repro.serve.pool.WorkerPool` of forked engine processes
+instead — crash/hang isolation, respawn with backoff, per-dataset
+circuit breakers (:class:`~repro.serve.admission.BreakerBoard`) and an
+operator-selectable degradation policy when no worker is live.
+Endpoints:
 
 - ``POST /v1/join`` — run a find-relation join; responds with the
   frozen :meth:`JoinRun.to_wire` envelope plus a ``request_id`` and
@@ -13,7 +18,9 @@ cannot absorb). Endpoints:
 - ``POST /v1/predicate`` — the relate_p variant (predicate required).
 - ``POST /v1/build-index`` — build a persistent dataset index on the
   server, so heavy inputs travel once and joins reference them by name.
-- ``GET /v1/healthz`` — liveness + admission snapshot.
+- ``GET /v1/healthz`` — readiness: admission/pool/breaker snapshot,
+  ``503 degraded`` below worker quorum or with an open breaker.
+- ``GET /v1/livez`` — pure liveness (always 200 while the daemon runs).
 - ``GET /metrics`` — the process metrics registry in Prometheus text
   exposition (the PR 3 exporter, now scrapeable).
 - ``GET /v1/runs`` / ``GET /v1/runs/<id>`` — recent request ids, and a
@@ -44,13 +51,20 @@ from typing import Any
 
 from repro.obs.metrics import get_registry, metrics_enabled
 from repro.obs.trace import export_spans, reset_tracing, tracing_enabled
-from repro.serve.admission import AdmissionController, ShedError
+from repro.serve.admission import (
+    AdmissionController,
+    BreakerBoard,
+    BreakerOpen,
+    ShedError,
+)
+from repro.serve.pool import WorkerFailure, WorkerPool
 from repro.serve.schema import (
     API_VERSION,
     BuildIndexRequest,
     JoinRequest,
     WireError,
     dumps_wire,
+    error_document,
     loads_wire,
     parse_predicate,
 )
@@ -67,12 +81,32 @@ MAX_BODY_BYTES = 1 << 20
 DRAIN_TIMEOUT = 30.0
 
 
-class ServiceError(Exception):
-    """A request the service refuses, with its HTTP status."""
+#: The pool degradation policies when no live worker exists:
+#: ``serial`` runs the join in-process (bounded by the engine lock,
+#: immune to worker failpoints by construction), ``shed`` answers 503.
+DEGRADE_MODES = ("serial", "shed")
 
-    def __init__(self, status: int, message: str) -> None:
+
+class ServiceError(Exception):
+    """A request the service refuses, with its HTTP status.
+
+    Transient refusals (503) carry a machine-readable ``reason`` (see
+    :data:`repro.serve.schema.ERROR_REASONS`) and a ``retry_after``
+    hint that also becomes the ``Retry-After`` response header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        reason: str | None = None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
 
 
 class JoinService:
@@ -90,17 +124,28 @@ class JoinService:
         admission: AdmissionController | None = None,
         root: str | Path | None = None,
         run_history: int = 64,
+        pool: WorkerPool | None = None,
+        breakers: BreakerBoard | None = None,
+        degrade: str = "serial",
     ) -> None:
         if engine is None:
             from repro.store.engine import Engine
 
             engine = Engine(calibration="auto")
+        if degrade not in DEGRADE_MODES:
+            raise ValueError(
+                f"degrade must be one of {DEGRADE_MODES}, got {degrade!r}"
+            )
         self.engine = engine
         self.admission = admission or AdmissionController()
+        self.pool = pool
+        self.breakers = breakers
+        self.degrade = degrade
         self.root = Path(root).resolve() if root is not None else None
         self.run_history = run_history
         self.started = time.time()
         self._engine_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
         self._runs: OrderedDict[str, dict] = OrderedDict()
         self._runs_lock = threading.Lock()
         self._counter = 0
@@ -143,46 +188,152 @@ class JoinService:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
+    def _direct_join(
+        self, request: JoinRequest, r_path: Path, s_path: Path, timeout: float
+    ) -> tuple[dict, list, float]:
+        """One join on the in-process engine (the single-flight path and
+        the pool's serial degradation); returns ``(wire_doc, spans,
+        seconds)``."""
+        predicate = (
+            parse_predicate(request.predicate) if request.predicate else None
+        )
+        with self._engine_lock:
+            if tracing_enabled():
+                reset_tracing()
+            t0 = time.perf_counter()
+            try:
+                run = self.engine.join(
+                    r_path,
+                    s_path,
+                    method=request.method,
+                    grid_order=request.grid_order,
+                    mode=request.mode,
+                    predicate=predicate,
+                    workers=request.workers,
+                    include_disjoint=request.include_disjoint,
+                    partition_timeout=timeout or None,
+                )
+            except FileNotFoundError as exc:
+                raise ServiceError(404, str(exc)) from exc
+            except (ValueError, OSError) as exc:
+                raise ServiceError(400, str(exc)) from exc
+            seconds = time.perf_counter() - t0
+            spans = export_spans() if tracing_enabled() else []
+        return run.to_wire(), spans, seconds
+
+    def _merge_worker_obs(self, payload: dict | None) -> list:
+        """Fold one pool worker's per-request obs export into the
+        daemon's collectors; returns the worker's spans for the run
+        record. Keeps ``/metrics`` (warm-path proofs included) and the
+        per-request dashboards truthful under the pool."""
+        if not payload:
+            return []
+        with self._obs_lock:
+            if payload.get("metrics") is not None and metrics_enabled():
+                get_registry().merge(payload["metrics"])
+            if payload.get("profile"):
+                from repro.obs.profile import merge_profiles
+
+                merge_profiles([payload["profile"]])
+            if payload.get("resources"):
+                from repro.obs.resources import merge_resources
+
+                merge_resources([payload["resources"]])
+        return payload.get("spans") or []
+
+    def _pool_join(
+        self,
+        request: JoinRequest,
+        r_path: Path,
+        s_path: Path,
+        timeout: float,
+        breaker_keys: tuple,
+    ) -> tuple[dict, list, float, str | None]:
+        """Dispatch one join to the worker pool, degrading per policy;
+        returns ``(wire_doc, spans, seconds, degraded)``."""
+        wire_request = {
+            "r": str(r_path),
+            "s": str(s_path),
+            "method": request.method,
+            "grid_order": request.grid_order,
+            "mode": request.mode,
+            "predicate": request.predicate,
+            "workers": request.workers,
+            "include_disjoint": request.include_disjoint,
+            "partition_timeout": timeout or None,
+        }
+        t0 = time.perf_counter()
+        try:
+            reply = self.pool.submit(wire_request, deadline=max(0.05, timeout))
+        except WorkerFailure as exc:
+            if exc.reason == "pool_exhausted" and self.degrade == "serial":
+                if metrics_enabled():
+                    get_registry().inc(
+                        "repro_serve_degraded_total", action="serial"
+                    )
+                doc, spans, seconds = self._direct_join(
+                    request, r_path, s_path, timeout
+                )
+                return doc, spans, seconds, "serial"
+            if exc.reason in ("worker_crash", "worker_hang"):
+                if self.breakers is not None:
+                    self.breakers.failure(breaker_keys)
+            elif metrics_enabled():
+                get_registry().inc("repro_serve_degraded_total", action="shed")
+            raise ServiceError(
+                503,
+                str(exc),
+                reason=exc.reason,
+                retry_after=exc.retry_after,
+            ) from exc
+        seconds = time.perf_counter() - t0
+        if self.breakers is not None:
+            # Any reply — success or client error — means the worker is
+            # healthy; only crashes and hangs count against the circuit.
+            self.breakers.success(breaker_keys)
+        if reply[0] == "error":
+            _tag, status, message, obs = reply
+            self._merge_worker_obs(obs)
+            raise ServiceError(status, message)
+        _tag, doc, obs = reply
+        spans = self._merge_worker_obs(obs)
+        return doc, spans, seconds, None
+
     def handle_join(
         self, payload: Any, *, require_predicate: bool = False
     ) -> tuple[int, dict]:
         endpoint = "predicate" if require_predicate else "join"
         request = JoinRequest.from_dict(payload, require_predicate=require_predicate)
-        predicate = (
-            parse_predicate(request.predicate) if request.predicate else None
-        )
         r_path = self._resolve(request.r)
         s_path = self._resolve(request.s)
         request_id = self._request_id()
+        breaker_keys = (request.r, request.s)
+        if self.breakers is not None:
+            try:
+                self.breakers.admit(breaker_keys)
+            except BreakerOpen as exc:
+                raise ServiceError(
+                    503,
+                    str(exc),
+                    reason="breaker_open",
+                    retry_after=exc.retry_after,
+                ) from exc
         with self.admission.admit(endpoint) as ticket:
-            with self._engine_lock:
-                if tracing_enabled():
-                    reset_tracing()
-                t0 = time.perf_counter()
-                try:
-                    run = self.engine.join(
-                        r_path,
-                        s_path,
-                        method=request.method,
-                        grid_order=request.grid_order,
-                        mode=request.mode,
-                        predicate=predicate,
-                        workers=request.workers,
-                        include_disjoint=request.include_disjoint,
-                        partition_timeout=ticket.remaining_seconds or None,
-                    )
-                except FileNotFoundError as exc:
-                    raise ServiceError(404, str(exc)) from exc
-                except (ValueError, OSError) as exc:
-                    raise ServiceError(400, str(exc)) from exc
-                service_seconds = time.perf_counter() - t0
-                spans = export_spans() if tracing_enabled() else []
-        response = run.to_wire()
+            degraded = None
+            if self.pool is not None:
+                response, spans, service_seconds, degraded = self._pool_join(
+                    request, r_path, s_path, ticket.remaining_seconds, breaker_keys
+                )
+            else:
+                response, spans, service_seconds = self._direct_join(
+                    request, r_path, s_path, ticket.remaining_seconds
+                )
         response["request_id"] = request_id
         response["service"] = {
             "seconds": service_seconds,
             "queued_seconds": ticket.queued_seconds,
             "endpoint": endpoint,
+            **({"degraded": degraded} if degraded else {}),
         }
         self._record_run(
             request_id,
@@ -197,14 +348,14 @@ class JoinService:
                     "r": str(request.r),
                     "s": str(request.s),
                     "grid_order": request.grid_order,
-                    "mode": run.mode,
-                    "links": len(run.results),
-                    "wall_seconds": run.wall_seconds,
+                    "mode": response["mode"],
+                    "links": len(response["results"]),
+                    "wall_seconds": response["wall_seconds"],
                     "service_seconds": service_seconds,
                     "queued_seconds": ticket.queued_seconds,
                     **(
-                        {"cost_model": run.meta["cost_model"]}
-                        if "cost_model" in run.meta
+                        {"cost_model": response["meta"]["cost_model"]}
+                        if "cost_model" in response.get("meta", {})
                         else {}
                     ),
                 },
@@ -243,17 +394,52 @@ class JoinService:
             "seconds": seconds,
         }
 
+    def livez(self) -> tuple[int, dict]:
+        """Pure liveness: the daemon process is up and answering HTTP.
+
+        Always 200 — worker deaths and open breakers degrade
+        *readiness* (:meth:`healthz`), never liveness; a supervisor
+        keying restarts off this endpoint must not bounce a daemon that
+        is busy healing itself.
+        """
+        return 200, {"status": "ok", "api_version": API_VERSION, "live": True}
+
     def healthz(self) -> tuple[int, dict]:
+        """Liveness *and* readiness. 503 ``degraded`` when the pool is
+        below quorum or any dataset circuit breaker is open — the
+        signal for load balancers to route around this replica while it
+        recovers."""
         from repro import __version__
 
-        return 200, {
-            "status": "ok",
+        degraded_reasons = []
+        pool_snapshot = None
+        if self.pool is not None:
+            pool_snapshot = self.pool.snapshot()
+            if pool_snapshot["live"] < pool_snapshot["quorum"]:
+                degraded_reasons.append("below_quorum")
+        breaker_states: dict[str, str] = {}
+        if self.breakers is not None:
+            breaker_states = self.breakers.states()
+            if any(state != "closed" for state in breaker_states.values()):
+                degraded_reasons.append("breaker_open")
+        ready = not degraded_reasons
+        document = {
+            "status": "ok" if ready else "degraded",
             "api_version": API_VERSION,
             "version": __version__,
+            "live": True,
+            "ready": ready,
             "uptime_seconds": time.time() - self.started,
             "admission": self.admission.snapshot(),
             "runs_recorded": len(self._runs),
         }
+        if degraded_reasons:
+            document["degraded_reasons"] = degraded_reasons
+        if pool_snapshot is not None:
+            document["pool"] = pool_snapshot
+        if self.breakers is not None:
+            document["breakers"] = breaker_states
+        return (200 if ready else 503), document
 
     def run_ids(self) -> tuple[int, dict]:
         with self._runs_lock:
@@ -271,7 +457,12 @@ class JoinService:
         return render_dashboard([record], title=f"repro serve · run {request_id}")
 
     def close(self) -> None:
-        """Release the engine's warm state (idempotent)."""
+        """Stop the worker pool and release the engine's warm state
+        (idempotent). Pool first: a worker mid-request gets its polite
+        stop only after the admission drain already emptied the
+        pipeline, and no respawn fires once shutdown began."""
+        if self.pool is not None:
+            self.pool.close()
         close = getattr(self.engine, "close", None)
         if close is not None:
             close()
@@ -326,9 +517,16 @@ class _Handler(BaseHTTPRequestHandler):
     def _json_bytes(self, document: dict) -> bytes:
         return (dumps_wire(document) + "\n").encode("utf-8")
 
-    def _error_bytes(self, status: int, message: str) -> bytes:
+    def _error_bytes(
+        self,
+        status: int,
+        message: str,
+        *,
+        reason: str | None = None,
+        retry_after: float | None = None,
+    ) -> bytes:
         return self._json_bytes(
-            {"api_version": API_VERSION, "error": message, "status": status}
+            error_document(status, message, reason=reason, retry_after=retry_after)
         )
 
     def _read_body(self) -> bytes:
@@ -357,6 +555,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/healthz":
                 status, doc = service.healthz()
+                body = self._json_bytes(doc)
+            elif self.path == "/v1/livez":
+                status, doc = service.livez()
                 body = self._json_bytes(doc)
             elif self.path == "/metrics":
                 status = 200
@@ -402,14 +603,20 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._json_bytes(doc)
         except ShedError as exc:
             status = 429
-            body = self._error_bytes(429, str(exc))
+            body = self._error_bytes(
+                429, str(exc), reason=exc.reason, retry_after=exc.retry_after
+            )
             headers = {"Retry_After": max(1, round(exc.retry_after))}
         except WireError as exc:
             status = 400
             body = self._error_bytes(400, str(exc))
         except ServiceError as exc:
             status = exc.status
-            body = self._error_bytes(exc.status, str(exc))
+            body = self._error_bytes(
+                exc.status, str(exc), reason=exc.reason, retry_after=exc.retry_after
+            )
+            if exc.retry_after is not None:
+                headers = {"Retry_After": max(1, round(exc.retry_after))}
         except Exception as exc:  # pragma: no cover - defensive 500
             status = 500
             body = self._error_bytes(500, f"internal error: {exc}")
@@ -502,6 +709,7 @@ def serve(
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "DEGRADE_MODES",
     "DRAIN_TIMEOUT",
     "MAX_BODY_BYTES",
     "JoinService",

@@ -149,6 +149,8 @@ class TestCliObservability:
         assert "# explain pair" in err or not record.get("explain_samples")
 
     def test_calibrate_then_auto_join(self, wkt_files, tmp_path, capsys, monkeypatch):
+        import json
+
         from repro.obs.report import read_jsonl
         from repro.optimizer.cost import PROFILE_ENV
 
@@ -160,6 +162,21 @@ class TestCliObservability:
         assert profile_path.exists()
         assert "wrote calibration profile" in out
         assert "auto-mode preview" in err
+
+        # The fresh profile measures batch on its own (not folded into
+        # serial), and the preview scores the full warm-find candidate
+        # set — its decisions may name batch/disk, not just the old
+        # ("serial", "parallel") default that hid the batch row.
+        profile = json.loads(profile_path.read_text())
+        assert "batch" in profile["modes"]
+        assert profile["modes"]["batch"] != profile["modes"]["serial"]
+        previewed = {
+            line.rsplit("-> ", 1)[1].strip()
+            for line in err.splitlines()
+            if "pairs ->" in line
+        }
+        assert previewed <= {"serial", "batch", "parallel", "disk"}
+        assert previewed
 
         log_path = tmp_path / "runs.jsonl"
         assert main([
